@@ -1,0 +1,79 @@
+"""Fig. 7: arbitrary r (workload A) on the synthetic stream.
+
+Paper setup: win=10K, slide=0.5K, k=30 fixed; r uniform in [200, 2000);
+workload sizes {10, 100, 500, 1000}.  Paper result: SOP beats MCOD and
+LEAP by up to 3 orders of magnitude in CPU (Fig. 7a) and stores a small
+fraction of their memory (Fig. 7b).
+
+Scaled setup: see ``bench_common`` (win=1000, slide=100, k=5); sizes
+{10, 50, 100} with LEAP capped at 50 (its per-query execution already
+dominates the suite's runtime there, which is itself the paper's point).
+"""
+
+import pytest
+
+from repro import LEAPDetector, MCODDetector, SOPDetector
+from repro.bench import build_workload
+
+from bench_common import (
+    PATTERN_RANGES,
+    figure_series,
+    print_series,
+    run_once,
+    synthetic_stream,
+)
+
+SIZES = [10, 50, 100]
+ALGOS = {"sop": SOPDetector, "mcod": MCODDetector, "leap": LEAPDetector}
+
+
+def _group(n):
+    return build_workload("A", n, seed=700 + n, ranges=PATTERN_RANGES)
+
+
+@pytest.mark.figure("fig7")
+@pytest.mark.parametrize("n", SIZES)
+def test_fig07_cpu_sop(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(SOPDetector, _group(n),
+                                             synthetic_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig7")
+@pytest.mark.parametrize("n", SIZES)
+def test_fig07_cpu_mcod(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(MCODDetector, _group(n),
+                                             synthetic_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig7")
+@pytest.mark.parametrize("n", [10, 50])
+def test_fig07_cpu_leap(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(LEAPDetector, _group(n),
+                                             synthetic_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig7")
+def test_fig07_series_report(benchmark):
+    """Full Fig. 7(a)+(b) sweep: CPU and memory tables plus speedups."""
+    series = benchmark.pedantic(
+        figure_series,
+        args=("Fig 7 (workload A: arbitrary r, synthetic)", "A", SIZES,
+              synthetic_stream(), PATTERN_RANGES),
+        kwargs={"leap_cap": 50, "seed_base": 700},
+        rounds=1, iterations=1,
+    )
+    print_series(series)
+    # the paper's qualitative claims, asserted on the measured series
+    sop = series.cpu_ms("sop")
+    mcod = series.cpu_ms("mcod")
+    assert sop[-1] < mcod[-1], "SOP must beat MCOD at the largest workload"
+    speedups = series.speedup_over("sop", "leap")
+    assert speedups[1] and speedups[1] > 2, "LEAP must trail SOP clearly"
+    # memory: SOP stores a fraction of MCOD's neighbor lists (Fig. 7b)
+    assert series.memory_units("sop")[-1] < series.memory_units("mcod")[-1]

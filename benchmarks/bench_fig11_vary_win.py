@@ -1,0 +1,68 @@
+"""Fig. 11: arbitrary window sizes (workload D) on the stock trace.
+
+Paper setup: STT stock data; slide=0.5K, r=200, k=30 fixed; win uniform
+in [1K, 500K); the paper's augmented MCOD already adopts the swift-query
+sharing, so its curves are flat in n -- but SOP still beats it by >= 2
+orders of magnitude thanks to the safe-for-all early termination
+(Sec. 4.1), while MCOD's range queries keep comparing every point.
+"""
+
+import pytest
+
+from repro import LEAPDetector, MCODDetector, SOPDetector
+from repro.bench import build_workload
+
+from bench_common import (
+    WINDOW_RANGES,
+    figure_series,
+    print_series,
+    run_once,
+    stock_stream,
+)
+
+SIZES = [10, 50, 100]
+
+
+def _group(n):
+    return build_workload("D", n, seed=1100 + n, ranges=WINDOW_RANGES)
+
+
+@pytest.mark.figure("fig11")
+@pytest.mark.parametrize("n", SIZES)
+def test_fig11_cpu_sop(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(SOPDetector, _group(n),
+                                             stock_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig11")
+@pytest.mark.parametrize("n", SIZES)
+def test_fig11_cpu_mcod(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(MCODDetector, _group(n),
+                                             stock_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig11")
+@pytest.mark.parametrize("n", [10, 50])
+def test_fig11_cpu_leap(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(LEAPDetector, _group(n),
+                                             stock_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_series_report(benchmark):
+    series = benchmark.pedantic(
+        figure_series,
+        args=("Fig 11 (workload D: arbitrary win, stock)", "D", SIZES,
+              stock_stream(), WINDOW_RANGES),
+        kwargs={"leap_cap": 50, "seed_base": 1100},
+        rounds=1, iterations=1,
+    )
+    print_series(series)
+    assert series.cpu_ms("sop")[-1] < series.cpu_ms("mcod")[-1]
+    assert series.memory_units("sop")[-1] < series.memory_units("mcod")[-1]

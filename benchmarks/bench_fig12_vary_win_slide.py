@@ -1,0 +1,99 @@
+"""Fig. 12: arbitrary win *and* slide (workload F) on the stock trace,
+plus the intermediate workload E (arbitrary slide only) from Table 1.
+
+Paper setup: k=30, r=200 fixed; win in [1K, 500K), slide in [50, 50K).
+Paper result: SOP's CPU grows ~10x while the workload grows 100x
+(28ms -> 282ms for 10 -> 1000 queries) and stays >= 2 orders of magnitude
+ahead -- the swift-query strategy (slide = gcd) pays off because safe
+inliers are discovered at the earliest possible boundary.
+"""
+
+import pytest
+
+from repro import LEAPDetector, MCODDetector, SOPDetector
+from repro.bench import build_workload
+
+from bench_common import (
+    WINDOW_RANGES,
+    figure_series,
+    print_series,
+    run_once,
+    stock_stream,
+)
+
+SIZES = [10, 50, 100]
+
+
+def _group_f(n):
+    return build_workload("F", n, seed=1200 + n, ranges=WINDOW_RANGES)
+
+
+def _group_e(n):
+    return build_workload("E", n, seed=1250 + n, ranges=WINDOW_RANGES)
+
+
+@pytest.mark.figure("fig12")
+@pytest.mark.parametrize("n", SIZES)
+def test_fig12_cpu_sop(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(SOPDetector, _group_f(n),
+                                             stock_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig12")
+@pytest.mark.parametrize("n", SIZES)
+def test_fig12_cpu_mcod(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(MCODDetector, _group_f(n),
+                                             stock_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig12")
+@pytest.mark.parametrize("n", [10, 50])
+def test_fig12_cpu_leap(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(LEAPDetector, _group_f(n),
+                                             stock_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig12")
+def test_fig12_series_report(benchmark):
+    series = benchmark.pedantic(
+        figure_series,
+        args=("Fig 12 (workload F: arbitrary win+slide, stock)", "F",
+              SIZES, stock_stream(), WINDOW_RANGES),
+        kwargs={"leap_cap": 50, "seed_base": 1200},
+        rounds=1, iterations=1,
+    )
+    print_series(series)
+    sop = series.cpu_ms("sop")
+    # sub-linear growth claim: 10x queries costs far less than 10x CPU
+    assert sop[-1] < 10 * sop[0]
+    # Workload F is single-pattern, so our MCOD keeps its micro-cluster
+    # fast path (stronger than the paper's range-scan comparator, see
+    # DESIGN.md): CPU is parity; the robust separations are memory and
+    # LEAP's per-query blow-up.
+    assert series.memory_units("sop")[-1] < series.memory_units("mcod")[-1]
+    assert series.cpu_ms("sop")[1] < series.cpu_ms("leap")[1]
+
+
+@pytest.mark.figure("workloadE")
+def test_workload_e_series_report(benchmark):
+    """Table 1's workload E (arbitrary slide only): the swift query case."""
+    series = benchmark.pedantic(
+        figure_series,
+        args=("Workload E (arbitrary slide, stock)", "E", SIZES,
+              stock_stream(), WINDOW_RANGES),
+        kwargs={"leap_cap": 50, "seed_base": 1250},
+        rounds=1, iterations=1,
+    )
+    print_series(series)
+    # Workload E is single-pattern, so our MCOD keeps its micro-cluster
+    # fast path (stronger than the paper's comparator -- see DESIGN.md);
+    # the robust claims are SOP's memory dominance and LEAP's per-query
+    # blow-up.
+    assert series.memory_units("sop")[-1] < series.memory_units("mcod")[-1]
+    assert series.cpu_ms("sop")[1] < series.cpu_ms("leap")[1]

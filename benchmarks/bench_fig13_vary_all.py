@@ -1,0 +1,71 @@
+"""Fig. 13: all four parameters arbitrary (workload G), huge workloads.
+
+Paper setup: synthetic data; workload sizes {100, 1000, 10000, 50000};
+all of r, k, win, slide random per query.  Paper result: SOP is "the only
+known method that scales" -- its CPU grows from 32ms to 892ms while the
+workload grows 500x, and its memory footprint stays a sliver of the
+alternatives'.
+
+Scaled setup: sizes {50, 200, 1000} by default (REPRO_BENCH_SCALE grows
+them); MCOD/LEAP capped at 200/50 -- beyond that they genuinely do not
+finish in tolerable time, which is the figure's message.
+"""
+
+import pytest
+
+from repro import MCODDetector, SOPDetector
+from repro.bench import build_workload
+
+from bench_common import (
+    PATTERN_RANGES,
+    SCALE,
+    figure_series,
+    print_series,
+    run_once,
+    synthetic_stream,
+)
+
+SIZES = [int(50 * SCALE), int(200 * SCALE), int(1000 * SCALE)]
+_RANGES = PATTERN_RANGES
+
+
+def _group(n):
+    return build_workload("G", n, seed=1300 + n, ranges=_RANGES)
+
+
+@pytest.mark.figure("fig13")
+@pytest.mark.parametrize("n", SIZES)
+def test_fig13_cpu_sop(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(SOPDetector, _group(n),
+                                             synthetic_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig13")
+@pytest.mark.parametrize("n", SIZES[:2])
+def test_fig13_cpu_mcod(benchmark, n):
+    res = benchmark.pedantic(run_once, args=(MCODDetector, _group(n),
+                                             synthetic_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("fig13")
+def test_fig13_series_report(benchmark):
+    series = benchmark.pedantic(
+        figure_series,
+        args=("Fig 13 (workload G: all parameters arbitrary, synthetic)",
+              "G", SIZES, synthetic_stream(), _RANGES),
+        kwargs={"mcod_cap": SIZES[1], "leap_cap": SIZES[0],
+                "seed_base": 1300},
+        rounds=1, iterations=1,
+    )
+    print_series(series)
+    sop = series.cpu_ms("sop")
+    # scalability claim: 20x more queries costs well under 20x CPU
+    assert sop[-1] < 20 * sop[0]
+    # SOP ahead of MCOD wherever MCOD finishes
+    assert sop[1] < series.cpu_ms("mcod")[1]
+    # memory: shared evidence vs per-query/all-neighbor storage
+    assert series.memory_units("sop")[1] < series.memory_units("mcod")[1]

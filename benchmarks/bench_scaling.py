@@ -1,0 +1,103 @@
+"""Empirical complexity: the paper's Sec. 3.1.2 analysis, measured.
+
+The paper bounds one window's processing at ``O(|W| * L * |r|/2)`` with
+``L`` the (minimal) number of candidates K-SKY examines and ``|r|`` the
+number of layers.  These benchmarks sweep each factor independently:
+
+* window size ``|W|`` (stream and window grow together);
+* layer count ``|r|`` (number of distinct r values in the workload);
+* ``k_max`` (drives skyband size and resolution depth).
+
+The report test prints the measured scaling ratios so regressions in the
+core loops are visible as super-linear jumps.
+"""
+
+import pytest
+
+from repro import OutlierQuery, QueryGroup, SOPDetector, WindowSpec
+from repro.bench import format_table
+
+from bench_common import run_once, synthetic_stream
+
+
+def _group_layers(n_layers, k=8, win=1000, slide=100):
+    rs = [200.0 + i * (1800.0 / max(n_layers - 1, 1))
+          for i in range(n_layers)]
+    return QueryGroup([
+        OutlierQuery(r=r, k=k, window=WindowSpec(win=win, slide=slide))
+        for r in rs
+    ])
+
+
+def _group_k(k_max, win=1000, slide=100):
+    ks = sorted({2, max(2, k_max // 2), k_max})
+    return QueryGroup([
+        OutlierQuery(r=700.0, k=k, window=WindowSpec(win=win, slide=slide))
+        for k in ks
+    ])
+
+
+@pytest.mark.figure("scaling")
+@pytest.mark.parametrize("win", [500, 1000, 2000])
+def test_scaling_window_size(benchmark, win):
+    group = QueryGroup([OutlierQuery(
+        r=700.0, k=8, window=WindowSpec(win=win, slide=win // 10))])
+    res = benchmark.pedantic(run_once, args=(SOPDetector, group,
+                                             synthetic_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("scaling")
+@pytest.mark.parametrize("n_layers", [1, 8, 64])
+def test_scaling_layer_count(benchmark, n_layers):
+    res = benchmark.pedantic(run_once, args=(SOPDetector,
+                                             _group_layers(n_layers),
+                                             synthetic_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("scaling")
+@pytest.mark.parametrize("k_max", [4, 16, 64])
+def test_scaling_k_max(benchmark, k_max):
+    res = benchmark.pedantic(run_once, args=(SOPDetector, _group_k(k_max),
+                                             synthetic_stream()),
+                             rounds=1, iterations=1)
+    assert res.boundaries > 0
+
+
+@pytest.mark.figure("scaling")
+def test_scaling_report(benchmark):
+    """Measured per-window CPU along each complexity axis."""
+
+    def sweep():
+        rows = {}
+        for label, groups in (
+            ("win", [(w, QueryGroup([OutlierQuery(
+                r=700.0, k=8,
+                window=WindowSpec(win=w, slide=w // 10))]))
+                for w in (500, 1000, 2000)]),
+            ("layers", [(n, _group_layers(n)) for n in (1, 8, 64)]),
+            ("k_max", [(k, _group_k(k)) for k in (4, 16, 64)]),
+        ):
+            series = []
+            for x, group in groups:
+                det = SOPDetector(group)
+                res = det.run(synthetic_stream())
+                series.append((x, res.cpu_ms_per_window,
+                               det.stats["points_examined"]))
+            rows[label] = series
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for label, series in rows.items():
+        xs = [x for x, _, _ in series]
+        print("\n" + format_table(
+            f"SOP scaling in {label}", label, xs,
+            ["cpu_ms/window", "points_examined"],
+            [[c for _, c, _ in series], [float(e) for _, _, e in series]],
+        ))
+        # 4x the factor should cost far less than ~quadratic blow-up
+        first, last = series[0][1], series[-1][1]
+        assert last < 50 * max(first, 0.01), (label, first, last)

@@ -1,0 +1,39 @@
+"""Table 1 + Table 2: workload construction and query-parser costs.
+
+The paper's Tables 1 and 2 define the experiment grid rather than report
+measurements; this module benchmarks what the SOP framework does with
+them -- building each workload class and parsing it into a skyband plan
+(Fig. 6's query parser) -- and prints the parameter ranges in use.
+"""
+
+import pytest
+
+from repro import parse_workload
+from repro.bench import build_workload, format_ranges
+
+from bench_common import PATTERN_RANGES
+
+
+@pytest.mark.figure("table1")
+@pytest.mark.parametrize("spec", list("ABCDEFG"))
+def test_build_workload_class(benchmark, spec):
+    """Sampling 500 member queries for each Table 1 class."""
+    group = benchmark(build_workload, spec, 500, 42, PATTERN_RANGES)
+    assert len(group) == 500
+
+
+@pytest.mark.figure("table1")
+@pytest.mark.parametrize("n", [10, 100, 1000])
+def test_parse_workload_scaling(benchmark, n):
+    """Query parsing (k-subgroups, r-grid, Def. 6 table) scales in n."""
+    group = build_workload("G", n, seed=1, ranges=PATTERN_RANGES)
+    plan = benchmark(parse_workload, group)
+    assert plan.k_max >= PATTERN_RANGES.k[0]
+    assert plan.n_layers <= n
+
+
+@pytest.mark.figure("table2")
+def test_table2_ranges_report(benchmark):
+    """Print the active (scaled) Table 2 parameter ranges."""
+    text = benchmark(format_ranges, PATTERN_RANGES)
+    print("\n[Table 2 / scaled] " + text)

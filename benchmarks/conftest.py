@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration: print figure reports after the run."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating one "
+        "paper figure/table"
+    )

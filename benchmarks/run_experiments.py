@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation (Sec. 6).
+
+Runs the full experiment grid -- Figs. 7, 8, 9, 10(a), 10(b), 11, 12, 13
+plus workload E and the SOP ablations -- and prints paper-style tables.
+The output of this script is the source for EXPERIMENTS.md.
+
+Usage::
+
+    python benchmarks/run_experiments.py [--stream N] [--sizes a,b,c]
+                                         [--figures fig7,fig9,...]
+
+Environment: REPRO_BENCH_STREAM / REPRO_BENCH_SCALE also apply (see
+``bench_common``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_common import (  # noqa: E402
+    PATTERN_RANGES,
+    WINDOW_RANGES,
+    figure_series,
+    stock_stream,
+    synthetic_stream,
+)
+
+from repro import (  # noqa: E402
+    LEAPDetector,
+    MCODDetector,
+    MultiAttributeDetector,
+    SOPDetector,
+    make_synthetic_points,
+)
+from repro.bench import build_workload, format_ranges, format_series, format_table
+
+
+def fig7(sizes, leap_cap):
+    return format_series(figure_series(
+        "Fig 7 (workload A: arbitrary r, synthetic)", "A", sizes,
+        synthetic_stream(), PATTERN_RANGES, leap_cap=leap_cap,
+        seed_base=700))
+
+
+def fig8(sizes, leap_cap):
+    return format_series(figure_series(
+        "Fig 8 (workload B: arbitrary k, synthetic)", "B", sizes,
+        synthetic_stream(), PATTERN_RANGES, leap_cap=leap_cap,
+        seed_base=800))
+
+
+def fig9(sizes, leap_cap):
+    return format_series(figure_series(
+        "Fig 9 (workload C: arbitrary k and r, synthetic)", "C", sizes,
+        synthetic_stream(), PATTERN_RANGES, leap_cap=leap_cap,
+        seed_base=900))
+
+
+def fig10a(sizes, leap_cap):
+    return format_series(figure_series(
+        "Fig 10(a) (small workloads, same attributes)", "C", [1, 2, 4, 8],
+        synthetic_stream(), PATTERN_RANGES, seed_base=1000))
+
+
+def fig10b(sizes, leap_cap):
+    pts = make_synthetic_points(2000, dim=3, outlier_rate=0.03, seed=7)
+    attr_sets = [(0, 1), (1, 2), (0, 2)]
+    factories = {"sop": SOPDetector, "mcod": MCODDetector,
+                 "leap": LEAPDetector}
+    cpu = {name: [] for name in factories}
+    mem = {name: [] for name in factories}
+    for per_group in (1, 2, 4):
+        queries = []
+        for g_idx, attrs in enumerate(attr_sets):
+            base = build_workload("C", per_group, seed=1100 + g_idx,
+                                  ranges=PATTERN_RANGES)
+            queries.extend(q.replace(attributes=attrs) for q in base)
+        for name, factory in factories.items():
+            res = MultiAttributeDetector(queries, factory=factory).run(pts)
+            cpu[name].append(res.cpu_ms_per_window)
+            mem[name].append(float(res.peak_memory_units))
+    return "\n\n".join([
+        format_table("Fig 10(b) (3 attribute groups) -- CPU per window (ms)",
+                     "queries/group", [1, 2, 4], list(cpu),
+                     list(cpu.values())),
+        format_table("Fig 10(b) (3 attribute groups) -- peak memory (units)",
+                     "queries/group", [1, 2, 4], list(mem),
+                     list(mem.values())),
+    ])
+
+
+def fig11(sizes, leap_cap):
+    return format_series(figure_series(
+        "Fig 11 (workload D: arbitrary win, stock)", "D", sizes,
+        stock_stream(), WINDOW_RANGES, leap_cap=leap_cap, seed_base=1100))
+
+
+def fig12(sizes, leap_cap):
+    return format_series(figure_series(
+        "Fig 12 (workload F: arbitrary win+slide, stock)", "F", sizes,
+        stock_stream(), WINDOW_RANGES, leap_cap=leap_cap, seed_base=1200))
+
+
+def workload_e(sizes, leap_cap):
+    return format_series(figure_series(
+        "Workload E (arbitrary slide, stock)", "E", sizes,
+        stock_stream(), WINDOW_RANGES, leap_cap=leap_cap, seed_base=1250))
+
+
+def fig13(sizes, leap_cap):
+    big = [max(sizes), 5 * max(sizes), 20 * max(sizes)]
+    return format_series(figure_series(
+        "Fig 13 (workload G: all parameters arbitrary, synthetic)", "G",
+        big, synthetic_stream(), PATTERN_RANGES,
+        mcod_cap=big[1], leap_cap=big[0], seed_base=1300))
+
+
+def ablations(sizes, leap_cap):
+    group = build_workload("G", 30, seed=555, ranges=PATTERN_RANGES)
+    variants = {
+        "full": {},
+        "no-safe-inliers": {"use_safe_inliers": False},
+        "no-least-exam": {"use_least_examination": False},
+        "lazy-refresh": {"eager": False},
+    }
+    rows = {}
+    for name, kwargs in variants.items():
+        det = SOPDetector(group, **kwargs)
+        res = det.run(synthetic_stream())
+        rows[name] = (res.cpu_ms_per_window, float(res.peak_memory_units),
+                      float(det.stats["points_examined"]))
+    names = list(rows)
+    return format_table(
+        "SOP ablations (30-query workload G, synthetic)",
+        "variant", names, ["cpu_ms/w", "mem_units", "examined"],
+        [[rows[n][i] for n in names] for i in range(3)],
+    )
+
+
+FIGURES = {
+    "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10a": fig10a,
+    "fig10b": fig10b, "fig11": fig11, "fig12": fig12,
+    "workloadE": workload_e, "fig13": fig13, "ablations": ablations,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="10,50,100",
+                        help="workload sizes for the sweeps")
+    parser.add_argument("--leap-cap", type=int, default=50,
+                        help="largest workload LEAP is asked to run")
+    parser.add_argument("--figures", default=",".join(FIGURES),
+                        help="comma-separated subset of figures to run")
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",")]
+
+    chunks = [
+        "SOP reproduction -- full experiment regeneration",
+        "stream: %d synthetic / %d stock points" % (
+            len(synthetic_stream()), len(stock_stream())),
+        "pattern ranges: " + format_ranges(PATTERN_RANGES),
+        "window ranges:  " + format_ranges(WINDOW_RANGES),
+        "",
+    ]
+    for name in args.figures.split(","):
+        fn = FIGURES[name.strip()]
+        started = time.perf_counter()
+        chunks.append(fn(sizes, args.leap_cap))
+        chunks.append(f"[{name}: {time.perf_counter() - started:.1f}s]")
+        chunks.append("")
+        print("\n".join(chunks[-3:]))
+    report = "\n".join(chunks)
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Parameter exploration: why analysts submit many queries at once.
+
+Sec. 1 of the paper: "determining apriori the most effective input
+parameters is difficult - if not impossible"; in a stream, getting them
+wrong means permanently losing the outliers in the segment gone by.  The
+cure is to run a whole grid of parameterizations *simultaneously* -- which
+is exactly the workload SOP makes affordable.
+
+This example sweeps a 5x4 (r, k) grid plus three window sizes (60 queries)
+over one stream in a single shared pass, then prints the outlier-rate
+surface so an analyst can pick the knee of the curve.
+
+Run:  python examples/parameter_exploration.py
+"""
+
+from repro import (
+    OutlierQuery,
+    QueryGroup,
+    SOPDetector,
+    WindowSpec,
+    make_synthetic_points,
+)
+
+
+def exploration_grid():
+    rs = [200, 400, 700, 1200, 2000]
+    ks = [4, 8, 16, 32]
+    wins = [500, 1000, 2000]
+    queries = [
+        OutlierQuery(r=r, k=k, window=WindowSpec(win=w, slide=250))
+        for r in rs for k in ks for w in wins
+    ]
+    return rs, ks, wins, QueryGroup(queries)
+
+
+def main() -> None:
+    points = make_synthetic_points(6000, dim=2, outlier_rate=0.02, seed=13,
+                                   n_clusters=2, cluster_spread=185)
+    rs, ks, wins, group = exploration_grid()
+    detector = SOPDetector(group)
+    print(f"exploring {len(group)} parameterizations in one shared pass")
+    print(detector.plan.describe())
+
+    result = detector.run(points)
+    print(f"\n{result.summary()}\n")
+
+    # outlier rate per (r, k) at the middle window size, averaged over
+    # all reported boundaries
+    mid_win = wins[1]
+    print(f"outlier rate (%) by (r, k) at win={mid_win}:")
+    header = "r\\k  " + "".join(f"{k:>8}" for k in ks)
+    print(header)
+    for r in rs:
+        row = [f"{r:<5}"]
+        for k in ks:
+            qi = next(i for i, q in enumerate(group)
+                      if q.r == r and q.k == k and q.win == mid_win)
+            per_boundary = result.outliers_for_query(qi)
+            total = sum(len(s) for s in per_boundary.values())
+            evaluated = sum(min(t, mid_win) for t in per_boundary)
+            rate = 100.0 * total / evaluated if evaluated else 0.0
+            row.append(f"{rate:8.2f}")
+        print("".join(row))
+
+    print("\nreading the surface: rates explode toward small r / large k "
+          "(everything looks abnormal)\nand collapse toward large r / "
+          "small k (nothing does); the knee is where the injected\n"
+          "~2% anomaly rate reappears.")
+
+    # window sensitivity at the knee
+    knee_r, knee_k = 400, 8
+    print(f"\nwindow sensitivity at (r={knee_r}, k={knee_k}):")
+    for w in wins:
+        qi = next(i for i, q in enumerate(group)
+                  if q.r == knee_r and q.k == knee_k and q.win == w)
+        per_boundary = result.outliers_for_query(qi)
+        total = sum(len(s) for s in per_boundary.values())
+        print(f"  win={w:<5} -> {total:5d} outlier reports over "
+              f"{len(per_boundary)} windows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables editable installs on environments without `wheel`."""
+
+from setuptools import setup
+
+setup()

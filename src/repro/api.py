@@ -1,0 +1,99 @@
+"""High-level convenience API for one-shot detection.
+
+For users who have "an array and a question" rather than a streaming
+deployment: :func:`detect_outliers` wraps stream construction, workload
+assembly, and the SOP run into one call, and :func:`outlier_flags` returns
+a numpy boolean mask aligned with the input rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .core.point import Point, points_from_array
+from .core.queries import OutlierQuery, QueryGroup
+from .core.sop import SOPDetector
+from .metrics.results import RunResult
+from .streams.windows import COUNT, WindowSpec
+
+__all__ = ["detect_outliers", "outlier_flags"]
+
+QuerySpec = Union[OutlierQuery, Tuple[float, int, int, int]]
+
+
+def _as_queries(queries: Iterable[QuerySpec], kind: str) -> list:
+    out = []
+    for spec in queries:
+        if isinstance(spec, OutlierQuery):
+            out.append(spec)
+            continue
+        try:
+            r, k, win, slide = spec
+        except (TypeError, ValueError):
+            raise TypeError(
+                "each query must be an OutlierQuery or an "
+                "(r, k, win, slide) tuple"
+            ) from None
+        out.append(OutlierQuery(
+            r=float(r), k=int(k),
+            window=WindowSpec(win=int(win), slide=int(slide), kind=kind),
+        ))
+    if not out:
+        raise ValueError("at least one query is required")
+    return out
+
+
+def detect_outliers(
+    data,
+    queries: Iterable[QuerySpec],
+    times: Optional[Sequence[float]] = None,
+    kind: str = COUNT,
+    metric="euclidean",
+    until: Optional[int] = None,
+) -> RunResult:
+    """Run a workload over array-like data in one call.
+
+    ``data`` is an iterable of attribute rows (list of lists, numpy array,
+    or pre-built :class:`Point` sequence); ``queries`` mixes
+    :class:`OutlierQuery` objects and ``(r, k, win, slide)`` tuples.
+
+    >>> result = detect_outliers(rows, [(0.5, 3, 100, 20)])
+    >>> result.outliers_for_query(0)
+    """
+    first = next(iter(data), None)
+    if isinstance(first, Point):
+        points = tuple(data)
+    else:
+        points = points_from_array(data, times=times)
+    group = QueryGroup(_as_queries(queries, kind))
+    detector = SOPDetector(group, metric=metric)
+    return detector.run(points, until=until)
+
+
+def outlier_flags(
+    data,
+    r: float,
+    k: int,
+    win: int,
+    slide: int,
+    times: Optional[Sequence[float]] = None,
+    kind: str = COUNT,
+    metric="euclidean",
+) -> np.ndarray:
+    """Boolean mask: was each input row *ever* reported as an outlier?
+
+    Single-query convenience over :func:`detect_outliers`; the mask is
+    aligned with the input rows (``mask[i]`` covers the row with seq
+    ``i``).
+    """
+    result = detect_outliers(
+        data, [(r, k, win, slide)], times=times, kind=kind, metric=metric,
+    )
+    n = len(data)
+    mask = np.zeros(n, dtype=bool)
+    for seqs in result.outputs.values():
+        for seq in seqs:
+            mask[seq] = True
+    return mask

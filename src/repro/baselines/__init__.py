@@ -1,0 +1,14 @@
+"""Baseline detectors: naive oracle, MCOD [13], LEAP [7]."""
+
+from .base import Detector
+from .leap import LEAPDetector
+from .mcod import MCODDetector
+from .naive import NaiveDetector, brute_force_outliers
+
+__all__ = [
+    "Detector",
+    "LEAPDetector",
+    "MCODDetector",
+    "NaiveDetector",
+    "brute_force_outliers",
+]

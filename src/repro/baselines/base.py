@@ -1,0 +1,108 @@
+"""Common detector interface shared by SOP and every baseline.
+
+All detectors are driven on the workload's *swift schedule* (``slide = gcd``
+of member slides): at each swift boundary ``t`` the runner delivers the
+batch of points with position in ``[t - slide, t)``, the detector processes
+it, and returns the outlier sets of exactly the member queries due at ``t``.
+Driving every algorithm on the same boundaries keeps outputs key-compatible
+so equivalence can be asserted verbatim.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from ..core.point import Point, get_metric
+from ..core.queries import QueryGroup
+from ..metrics.results import RunResult
+from ..streams.source import batches_by_boundary
+from ..streams.windows import TIME
+
+__all__ = ["Detector"]
+
+
+class Detector(ABC):
+    """Base class: one workload, one stream, boundary-driven processing."""
+
+    #: short name used in reports ("sop", "mcod", "leap", "naive")
+    name = "detector"
+
+    def __init__(self, group: QueryGroup, metric="euclidean"):
+        self.group = group
+        self.metric = get_metric(metric)
+        self.swift = group.swift
+        self.by_time = group.kind == TIME
+
+    # ------------------------------------------------------------ interface
+
+    @abstractmethod
+    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+        """Ingest one swift batch, process boundary ``t``.
+
+        Returns ``{query_index: outlier seqs}`` for every member query due
+        at ``t`` (possibly empty sets; queries not due are absent).
+        """
+
+    def memory_units(self) -> int:
+        """Current evidence-entry count (see ``repro.metrics.meters``)."""
+        return 0
+
+    def tracked_points(self) -> int:
+        """Number of points with live per-point bookkeeping."""
+        return 0
+
+    def work_stats(self) -> Dict[str, int]:
+        """Substrate-independent work counters.
+
+        The universal counter is ``distance_rows``: point-to-point
+        distance evaluations performed so far.  Wall-clock comparisons in
+        pure Python are dominated by interpreter constants; this counter
+        exposes the *algorithmic* gap the paper's complexity arguments are
+        about (``benchmarks/bench_opcounts.py`` reports it per figure).
+        """
+        buffer = getattr(self, "buffer", None)
+        rows = buffer.distance_rows if buffer is not None else 0
+        return {"distance_rows": rows + self._extra_distance_rows()}
+
+    def _extra_distance_rows(self) -> int:
+        """Distance evaluations performed outside the shared buffer."""
+        return 0
+
+    # ---------------------------------------------------------------- driver
+
+    def position(self, p: Point) -> float:
+        """Stream position of a point under this workload's window kind."""
+        return p.time if self.by_time else float(p.seq)
+
+    def warm_start(self, points: Sequence[Point]) -> None:
+        """Preload a retained window (checkpoint restore, rebuilds).
+
+        The default loads the buffer and lets the detector rebuild its
+        per-point evidence lazily; detectors that build state at insert
+        time (MCOD) override this to run their ingestion path.
+        """
+        buffer = getattr(self, "buffer", None)
+        if buffer is None:
+            raise TypeError(f"{type(self).__name__} cannot warm start")
+        buffer.extend(points)
+
+    def run(self, points: Sequence[Point], until: Optional[int] = None) -> RunResult:
+        """Process a finite stream end-to-end with metering.
+
+        ``until`` bounds the last boundary (defaults to just past the final
+        point so every point is delivered and evaluated at least once).
+        """
+        result = RunResult(detector=self.name)
+        for t, batch in batches_by_boundary(
+            points, self.swift.slide, self.group.kind, until
+        ):
+            result.cpu.start()
+            outputs = self.step(t, batch)
+            result.cpu.stop()
+            result.boundaries += 1
+            result.memory.sample(self.memory_units(), self.tracked_points())
+            for qi, seqs in outputs.items():
+                result.outputs[(qi, t)] = frozenset(seqs)
+        result.work = self.work_stats()
+        return result

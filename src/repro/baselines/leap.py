@@ -1,0 +1,202 @@
+"""LEAP baseline [7]: single-query scalable outlier detection, applied
+independently per member query (the paper's non-shared comparator).
+
+LEAP (Cao et al., ICDE 2014) processes one query ``q(r, k, win, slide)``
+with two principles:
+
+* **Minimal probing** -- a point probes for neighbors only until ``k`` are
+  known; probing resumes (never restarts) when evidence expires;
+* **Lifespan-aware prioritization** -- new arrivals are probed first, so
+  evidence is biased toward *succeeding* neighbors, which never expire
+  before the probing point; a point with ``k`` succeeding neighbors is a
+  *safe inlier* and is never examined again.
+
+Each point tracks the contiguous probed range ``[floor, ceiling]`` of the
+stream: at evaluation, unseen new arrivals (above the ceiling) are counted
+first (all succeeding), then -- if support is still short -- the scan
+extends downward from the floor, chunked and stopping as soon as support
+reaches ``k`` or the window start is passed.
+
+The multi-query wrapper :class:`LEAPDetector` simply runs one
+:class:`_LeapInstance` per member query over a shared window buffer,
+"applying LEAP independently to process each query in the query group"
+(Sec. 6.1).  CPU and evidence memory therefore scale with the number of
+queries -- the behaviour Figs. 7-13 report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+from ..core.point import Point
+from ..core.queries import OutlierQuery, QueryGroup
+from ..streams.buffer import WindowBuffer
+from .base import Detector
+
+__all__ = ["LEAPDetector"]
+
+
+class _Evidence:
+    """Per-point LEAP evidence for one query instance."""
+
+    __slots__ = ("succ_count", "pred_poss", "floor_seq", "ceiling_seq", "safe")
+
+    def __init__(self, seq: int):
+        self.succ_count = 0
+        #: positions of known preceding neighbors, ascending
+        self.pred_poss: List[float] = []
+        # probed contiguous seq range is [floor_seq, ceiling_seq]
+        self.floor_seq = seq
+        self.ceiling_seq = seq
+        self.safe = False
+
+    def units(self, k: int) -> int:
+        """Stored evidence entries (succeeding evidence is capped at k)."""
+        if self.safe:
+            return 0
+        return len(self.pred_poss) + min(self.succ_count, k)
+
+
+class _LeapInstance:
+    """LEAP state machine for a single member query."""
+
+    def __init__(self, query: OutlierQuery, buffer: WindowBuffer,
+                 by_time: bool, chunk_size: int = 256):
+        self.query = query
+        self.buffer = buffer
+        self.by_time = by_time
+        self.chunk_size = chunk_size
+        self._evidence: Dict[int, _Evidence] = {}
+
+    # ----------------------------------------------------------- evaluation
+
+    def evaluate(self, t: int) -> FrozenSet[int]:
+        """Outliers of this query's window at boundary ``t``."""
+        q = self.query
+        ws = float(max(0, t - q.win))
+        pop_lo = self._index_at(ws)
+        pts = self.buffer.points
+        outliers: List[int] = []
+        for idx in range(len(pts) - 1, pop_lo - 1, -1):
+            p = pts[idx]
+            ev = self._evidence.get(p.seq)
+            if ev is None:
+                ev = self._evidence[p.seq] = _Evidence(p.seq)
+            if ev.safe:
+                continue
+            if self._support(p, ev, ws, idx) < q.k:
+                outliers.append(p.seq)
+        return frozenset(outliers)
+
+    def _support(self, p: Point, ev: _Evidence, ws: float, idx: int) -> int:
+        """Current neighbor support of ``p``; probes lazily as needed."""
+        k = self.query.k
+        # drop expired preceding evidence
+        drop = 0
+        for pos in ev.pred_poss:
+            if pos >= ws:
+                break
+            drop += 1
+        if drop:
+            del ev.pred_poss[:drop]
+        # probe unseen new arrivals (all succeeding -- lifespan priority)
+        pts = self.buffer.points
+        newest = pts[-1].seq
+        if newest > ev.ceiling_seq:
+            lo = self._index_of_seq_ceil(ev.ceiling_seq + 1)
+            d = self.buffer.distances_from(p.values, lo, len(pts))
+            ev.succ_count += int((d <= self.query.r).sum())
+            ev.ceiling_seq = newest
+            if ev.succ_count >= k:
+                ev.safe = True  # k succeeding neighbors: safe inlier forever
+                ev.pred_poss = []
+                return k
+        support = ev.succ_count + len(ev.pred_poss)
+        if support >= k:
+            return support
+        # minimal probing: extend downward from the floor, stop at k
+        floor_idx = self._index_of_seq_ceil(ev.floor_seq)
+        stop_idx = self._index_at(ws)
+        hi = floor_idx
+        while hi > stop_idx and support < k:
+            lo = max(stop_idx, hi - self.chunk_size)
+            d = self.buffer.distances_from(p.values, lo, hi)
+            for j in range(hi - lo - 1, -1, -1):
+                ev.floor_seq = pts[lo + j].seq
+                if d[j] <= self.query.r:
+                    ev.pred_poss.insert(0, self._pos(pts[lo + j]))
+                    support += 1
+                    if support >= k:
+                        break
+            hi = lo
+        return support
+
+    # ------------------------------------------------------------- plumbing
+
+    def _pos(self, p: Point) -> float:
+        return p.time if self.by_time else float(p.seq)
+
+    def _index_at(self, window_start: float) -> int:
+        if self.by_time:
+            return self.buffer.first_index_at_or_after_time(window_start)
+        pts = self.buffer.points
+        if not pts:
+            return 0
+        return min(max(int(window_start) - pts[0].seq, 0), len(pts))
+
+    def _index_of_seq_ceil(self, seq: int) -> int:
+        """Live index of ``seq``, clamped into the live range."""
+        pts = self.buffer.points
+        if not pts:
+            return 0
+        return min(max(seq - pts[0].seq, 0), len(pts))
+
+    def forget_before(self, window_start: float) -> None:
+        """Drop evidence of points that left this query's window."""
+        dead = []
+        pts = self.buffer.points
+        alive = {p.seq for p in pts}
+        for seq, ev in self._evidence.items():
+            if seq not in alive:
+                dead.append(seq)
+        for seq in dead:
+            del self._evidence[seq]
+
+    def memory_units(self) -> int:
+        return sum(ev.units(self.query.k) for ev in self._evidence.values())
+
+    def tracked_points(self) -> int:
+        return len(self._evidence)
+
+
+class LEAPDetector(Detector):
+    """Multi-query wrapper: one independent LEAP instance per query."""
+
+    name = "leap"
+
+    def __init__(self, group: QueryGroup, metric="euclidean",
+                 chunk_size: int = 256):
+        super().__init__(group, metric)
+        self.buffer = WindowBuffer(self.metric)
+        self.instances = [
+            _LeapInstance(q, self.buffer, self.by_time, chunk_size)
+            for q in group.queries
+        ]
+
+    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+        self.buffer.extend(batch)
+        start = float(max(0, t - self.swift.win))
+        evicted = self.buffer.evict_before(start, self.by_time)
+        if evicted:
+            for inst in self.instances:
+                inst.forget_before(start)
+        out: Dict[int, FrozenSet[int]] = {}
+        for qi in self.group.due_members(t):
+            out[qi] = self.instances[qi].evaluate(t)
+        return out
+
+    def memory_units(self) -> int:
+        return sum(inst.memory_units() for inst in self.instances)
+
+    def tracked_points(self) -> int:
+        return sum(inst.tracked_points() for inst in self.instances)

@@ -1,0 +1,397 @@
+"""MCOD baseline [13] with the paper's multi-query extension (Sec. 6.1).
+
+MCOD (Kontaki et al., ICDE 2011) maintains *micro-clusters* of radius
+``r/2``: any two points in a cluster are within ``r`` of each other, so a
+cluster holding more than ``k`` points makes every member a definitional
+inlier.  Points not absorbed by a cluster ("PD" points) keep explicit
+neighbor lists and are the only outlier candidates.
+
+The SOP paper compares against an *augmented* MCOD ("we have extended MCOD
+by inserting our window-specific techniques into MCOD"), which handles a
+whole workload with one structure:
+
+* the range query uses the *largest* ``r`` in the workload -- a PD point
+  stores **all** neighbors within ``r_max`` together with their distances
+  (this is the memory cost the paper highlights);
+* micro-clusters use the *smallest* ``r`` and the *largest* ``k``
+  (radius ``r_min / 2``, population threshold ``k_max + 1``), the
+  "simulated most-restrictive query" of Sec. 6.2;
+* the window-specific techniques are grafted on: the detector runs on the
+  swift schedule (slide = gcd, window = max win) and answers each due query
+  by filtering stored evidence by the query's own ``(r, win)``.
+
+Unlike SOP, a new point performs a full range scan of the window whenever
+it does not join a cluster, and every neighbor (not just the minimal
+evidence) is stored -- reproducing the CPU and memory behaviour the paper
+measures in Figs. 7-13.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.point import Point
+from ..core.queries import QueryGroup
+from ..streams.buffer import WindowBuffer
+from .base import Detector
+
+__all__ = ["MCODDetector"]
+
+
+class _PDState:
+    """A PD (non-cluster) point: all neighbors within ``r_max``.
+
+    ``poss``/``dists`` are parallel lists in ascending position order
+    (preceding neighbors are collected in arrival order at insertion time,
+    succeeding ones appended as they arrive), enabling O(log) expiry.
+    """
+
+    __slots__ = ("poss", "dists")
+
+    def __init__(self, poss: List[float], dists: List[float]):
+        self.poss = poss
+        self.dists = dists
+
+    def append(self, pos: float, dist: float) -> None:
+        self.poss.append(pos)
+        self.dists.append(dist)
+
+    def prune_before(self, min_pos: float) -> None:
+        i = bisect_left(self.poss, min_pos)
+        if i:
+            del self.poss[:i]
+            del self.dists[:i]
+
+    def __len__(self) -> int:
+        return len(self.poss)
+
+
+class _Cluster:
+    """A micro-cluster: fixed center, members sorted by arrival."""
+
+    __slots__ = ("center", "seqs", "poss")
+
+    def __init__(self, center: np.ndarray):
+        self.center = center
+        self.seqs: List[int] = []
+        self.poss: List[float] = []
+
+    def add(self, seq: int, pos: float) -> None:
+        self.seqs.append(seq)
+        self.poss.append(pos)
+
+    def expire_before(self, min_pos: float) -> List[int]:
+        """Drop expired members; return the seqs removed."""
+        i = bisect_left(self.poss, min_pos)
+        removed = self.seqs[:i]
+        if i:
+            del self.seqs[:i]
+            del self.poss[:i]
+        return removed
+
+    def members_in_window(self, window_start: float) -> int:
+        return len(self.poss) - bisect_left(self.poss, window_start)
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+
+class MCODDetector(Detector):
+    """Micro-cluster based multi-query outlier detection (augmented MCOD)."""
+
+    name = "mcod"
+
+    def __init__(self, group: QueryGroup, metric="euclidean"):
+        super().__init__(group, metric)
+        self.buffer = WindowBuffer(self.metric)
+        self.r_min = group.r_min
+        self.r_max = group.r_max
+        self.k_max = group.k_max
+        self.cluster_radius = self.r_min / 2.0
+        self.cluster_threshold = self.k_max + 1
+        # Micro-clusters are MCOD's single-pattern machinery; the
+        # multi-query technique of [13] that the paper compares against is
+        # range-query based ("compare each data point with all the other
+        # data points in each window", Sec. 6.2).  Clusters therefore stay
+        # enabled only when every member query shares one (r, k) setting
+        # (e.g. the window-parameter workloads D/E/F).
+        self.clustering_enabled = len({(q.r, q.k) for q in group}) == 1
+        self._pd: Dict[int, _PDState] = {}
+        self._clusters: Dict[int, _Cluster] = {}
+        self._membership: Dict[int, int] = {}
+        self._next_cluster_id = 0
+        self.stats = {"full_scans": 0, "cluster_joins": 0,
+                      "clusters_formed": 0, "clusters_dissolved": 0}
+        self._direct_rows = 0  # distance rows computed outside the buffer
+
+    def _extra_distance_rows(self) -> int:
+        return self._direct_rows
+
+    def warm_start(self, points: Sequence[Point]) -> None:
+        """Restore a retained window through the normal ingestion path
+        (PD lists and clusters are built at insert time)."""
+        self.buffer.extend(points)
+        base = len(self.buffer) - len(points)
+        for offset, p in enumerate(points):
+            self._insert(p, base + offset)
+
+    # --------------------------------------------------------------- step
+
+    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+        start = float(max(0, t - self.swift.win))
+        self._expire(start)
+        self.buffer.extend(batch)
+        for offset, p in enumerate(batch):
+            self._insert(p, len(self.buffer) - len(batch) + offset)
+        self._prune_pd(start)
+        due = self.group.due_members(t)
+        if not due:
+            return {}
+        return self._evaluate_due(due, t)
+
+    # ------------------------------------------------------------- insertion
+
+    def _insert(self, p: Point, live_index: int) -> None:
+        """Process one arrival: cluster join, PD bookkeeping, formation."""
+        pos_p = self.position(p)
+        cid = self._nearest_cluster(p.values) if self.clustering_enabled \
+            else None
+        if cid is not None:
+            self.stats["cluster_joins"] += 1
+            self._clusters[cid].add(p.seq, pos_p)
+            self._membership[p.seq] = cid
+            # other PD points still need p in their neighbor lists; a
+            # cluster-joining point only scans the PD set (the fast path
+            # that makes single-query MCOD cheap)
+            self._update_pd_only(p, live_index, pos_p)
+            return
+        dists = self._update_pd_lists(p, live_index, pos_p, own_list=True)
+        self._maybe_form_cluster(p, live_index, pos_p, dists)
+
+    def _nearest_cluster(self, values: Sequence[float]) -> Optional[int]:
+        if not self._clusters:
+            return None
+        ids = list(self._clusters)
+        centers = np.asarray([self._clusters[c].center for c in ids])
+        self._direct_rows += len(ids)
+        d = self.metric.to_block(np.asarray(values, dtype=np.float64), centers)
+        best = int(np.argmin(d))
+        if d[best] <= self.cluster_radius:
+            return ids[best]
+        return None
+
+    def _update_pd_only(self, p: Point, live_index: int, pos_p: float) -> None:
+        """Append ``p`` to the neighbor lists of PD points that precede it.
+
+        Scans only the PD set (cluster members keep no lists), which is the
+        efficiency micro-clusters buy MCOD when most mass is clustered.
+        """
+        if not self._pd:
+            return
+        pts = self.buffer.points
+        indexes = []
+        for seq in self._pd:
+            idx = self.buffer.position_of_seq(seq)
+            if idx < live_index:
+                indexes.append(idx)
+        if not indexes:
+            return
+        block = self.buffer.matrix()[indexes]
+        self._direct_rows += len(indexes)
+        d = self.metric.to_block(
+            np.asarray(p.values, dtype=np.float64), block
+        )
+        for pos_in_list, dist in zip(indexes, d):
+            if dist <= self.r_max:
+                self._pd[pts[pos_in_list].seq].append(pos_p, float(dist))
+
+    def _update_pd_lists(
+        self, p: Point, live_index: int, pos_p: float, own_list: bool
+    ) -> Optional[np.ndarray]:
+        """Range-scan preceding points; update their lists (and p's own).
+
+        Only points that arrived before ``p`` (live indexes < ``live_index``)
+        are scanned: later batch points handle the symmetric update when
+        they are themselves inserted.
+        """
+        self.stats["full_scans"] += 1
+        pts = self.buffer.points
+        d = self.buffer.distances_from(p.values, 0, live_index)
+        neighbor_idx = np.flatnonzero(d <= self.r_max)
+        own_poss: List[float] = []
+        own_dists: List[float] = []
+        for j in neighbor_idx:
+            other = pts[int(j)]
+            dist = float(d[int(j)])
+            state = self._pd.get(other.seq)
+            if state is not None:
+                state.append(pos_p, dist)
+            if own_list:
+                own_poss.append(self.position(other))
+                own_dists.append(dist)
+        if own_list:
+            self._pd[p.seq] = _PDState(own_poss, own_dists)
+            return d
+        return None
+
+    def _maybe_form_cluster(
+        self, p: Point, live_index: int, pos_p: float, dists: np.ndarray
+    ) -> None:
+        """Found a new micro-cluster if enough PD mass sits within r_min/2."""
+        if not self.clustering_enabled:
+            return
+        close_idx = np.flatnonzero(dists <= self.cluster_radius)
+        pts = self.buffer.points
+        eligible = [
+            pts[int(j)] for j in close_idx if pts[int(j)].seq in self._pd
+        ]
+        if len(eligible) + 1 < self.cluster_threshold:
+            return
+        self.stats["clusters_formed"] += 1
+        cluster = _Cluster(np.asarray(p.values, dtype=np.float64))
+        cid = self._next_cluster_id
+        self._next_cluster_id += 1
+        for member in eligible:
+            del self._pd[member.seq]
+            cluster.add(member.seq, self.position(member))
+            self._membership[member.seq] = cid
+        del self._pd[p.seq]
+        cluster.add(p.seq, pos_p)
+        self._membership[p.seq] = cid
+        self._clusters[cid] = cluster
+
+    # --------------------------------------------------------------- expiry
+
+    def _expire(self, window_start: float) -> None:
+        evicted = self.buffer.evict_before(window_start, self.by_time)
+        for p in evicted:
+            self._pd.pop(p.seq, None)
+            self._membership.pop(p.seq, None)
+        dissolved: List[int] = []
+        for cid, cluster in self._clusters.items():
+            cluster.expire_before(window_start)
+            if len(cluster) < self.cluster_threshold:
+                dissolved.append(cid)
+        for cid in dissolved:
+            self._dissolve(cid)
+
+    def _dissolve(self, cid: int) -> None:
+        """Shrunk cluster: surviving members revert to PD with fresh lists."""
+        self.stats["clusters_dissolved"] += 1
+        cluster = self._clusters.pop(cid)
+        pts = self.buffer.points
+        for seq in cluster.seqs:
+            self._membership.pop(seq, None)
+            try:
+                idx = self.buffer.position_of_seq(seq)
+            except KeyError:
+                continue  # already expired
+            member = pts[idx]
+            d = self.buffer.distances_from(member.values)
+            self.stats["full_scans"] += 1
+            poss: List[float] = []
+            dlist: List[float] = []
+            for j in np.flatnonzero(d <= self.r_max):
+                other = pts[int(j)]
+                if other.seq == seq:
+                    continue
+                poss.append(self.position(other))
+                dlist.append(float(d[int(j)]))
+            order = sorted(range(len(poss)), key=poss.__getitem__)
+            self._pd[seq] = _PDState(
+                [poss[i] for i in order], [dlist[i] for i in order]
+            )
+
+    def _prune_pd(self, window_start: float) -> None:
+        for state in self._pd.values():
+            state.prune_before(window_start)
+
+    # ------------------------------------------------------------ evaluation
+
+    def _evaluate_due(
+        self, due: Sequence[int], t: int
+    ) -> Dict[int, FrozenSet[int]]:
+        pts = self.buffer.points
+        out: Dict[int, FrozenSet[int]] = {}
+        if not pts:
+            return {qi: frozenset() for qi in due}
+
+        # flatten PD evidence once per boundary
+        pd_seqs: List[int] = []
+        pd_poss: List[float] = []
+        owners: List[int] = []
+        e_poss: List[float] = []
+        e_dists: List[float] = []
+        row = 0
+        for p in pts:
+            state = self._pd.get(p.seq)
+            if state is None:
+                continue
+            pd_seqs.append(p.seq)
+            pd_poss.append(self.position(p))
+            owners.extend([row] * len(state))
+            e_poss.extend(state.poss)
+            e_dists.extend(state.dists)
+            row += 1
+        seq_arr = np.asarray(pd_seqs, dtype=np.int64)
+        ppos_arr = np.asarray(pd_poss, dtype=np.float64)
+        own_arr = np.asarray(owners, dtype=np.int64)
+        epos_arr = np.asarray(e_poss, dtype=np.float64)
+        edist_arr = np.asarray(e_dists, dtype=np.float64)
+
+        for qi in due:
+            q = self.group[qi]
+            ws = float(max(0, t - q.win))
+            outliers: List[int] = []
+            if row:
+                emask = (edist_arr <= q.r) & (epos_arr >= ws)
+                counts = np.bincount(own_arr[emask], minlength=row)
+                sel = (ppos_arr >= ws) & (counts < q.k)
+                outliers.extend(int(s) for s in seq_arr[sel])
+            outliers.extend(self._cluster_outliers(q, ws))
+            out[qi] = frozenset(outliers)
+        return out
+
+    def _cluster_outliers(self, q, window_start: float) -> List[int]:
+        """Cluster members are inliers when enough of the cluster is in
+        the query window; otherwise fall back to a per-member range count."""
+        result: List[int] = []
+        for cluster in self._clusters.values():
+            in_window = cluster.members_in_window(window_start)
+            if in_window == 0:
+                continue
+            if in_window >= q.k + 1 and q.r >= self.r_min:
+                continue  # pairwise within r_min <= q.r: all inliers
+            first = bisect_left(cluster.poss, window_start)
+            pop_lo = self._population_start(window_start)
+            for i in range(first, len(cluster.seqs)):
+                seq = cluster.seqs[i]
+                idx = self.buffer.position_of_seq(seq)
+                member = self.buffer[idx]
+                d = self.buffer.distances_from(member.values, pop_lo)
+                neighbors = int((d <= q.r).sum()) - 1  # self-match
+                if neighbors < q.k:
+                    result.append(seq)
+        return result
+
+    def _population_start(self, window_start: float) -> int:
+        if self.by_time:
+            return self.buffer.first_index_at_or_after_time(window_start)
+        pts = self.buffer.points
+        if not pts:
+            return 0
+        return min(max(int(window_start) - pts[0].seq, 0), len(pts))
+
+    # -------------------------------------------------------------- metrics
+
+    def memory_units(self) -> int:
+        """All stored neighbor entries plus cluster memberships."""
+        units = sum(len(s) for s in self._pd.values())
+        units += sum(len(c) for c in self._clusters.values())
+        return units
+
+    def tracked_points(self) -> int:
+        return len(self._pd) + len(self._membership)

@@ -1,0 +1,92 @@
+"""Naive exact detector: per-query brute force over each window.
+
+For every due query at every boundary, computes the full pairwise neighbor
+counts of the query's population with the vectorized metric and reports
+points with fewer than ``k`` neighbors within ``r``.  No state is carried
+between windows, no sharing happens between queries.
+
+This is the correctness oracle of the test suite: any divergence between a
+detector and :class:`NaiveDetector` is a bug in the detector.  It also
+serves as an (unshared, re-compute-everything) lower baseline in the small
+benchmark configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence
+
+import numpy as np
+
+from ..core.point import Point
+from ..core.queries import QueryGroup
+from ..streams.buffer import WindowBuffer
+from .base import Detector
+
+__all__ = ["NaiveDetector", "brute_force_outliers"]
+
+
+def brute_force_outliers(
+    points: Sequence[Point], r: float, k: int, metric
+) -> FrozenSet[int]:
+    """Outlier seqs among ``points`` under ``(r, k)``, from first principles.
+
+    Quadratic in the population size; neighbor counts exclude the point
+    itself (Def. 1: a neighbor is any *other* object within ``r``).
+    """
+    n = len(points)
+    if n == 0:
+        return frozenset()
+    mat = np.asarray([p.values for p in points], dtype=np.float64)
+    outliers = []
+    for i in range(n):
+        d = metric.to_block(mat[i], mat)
+        # subtract the self-match at distance zero
+        if int((d <= r).sum()) - 1 < k:
+            outliers.append(points[i].seq)
+    return frozenset(outliers)
+
+
+class NaiveDetector(Detector):
+    """Recompute-from-scratch exact multi-query detector."""
+
+    name = "naive"
+
+    def __init__(self, group: QueryGroup, metric="euclidean"):
+        super().__init__(group, metric)
+        self.buffer = WindowBuffer(self.metric)
+        self._direct_rows = 0
+
+    def _extra_distance_rows(self) -> int:
+        return self._direct_rows
+
+    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+        self.buffer.extend(batch)
+        start = max(0, t - self.swift.win)
+        self.buffer.evict_before(start, self.by_time)
+        due = self.group.due_members(t)
+        out: Dict[int, FrozenSet[int]] = {}
+        for qi in due:
+            q = self.group[qi]
+            ws = max(0, t - q.win)
+            population = self._population(float(ws))
+            self._direct_rows += len(population) * len(population)
+            out[qi] = brute_force_outliers(population, q.r, q.k, self.metric)
+        return out
+
+    def _population(self, window_start: float) -> Sequence[Point]:
+        pts = self.buffer.points
+        if not pts:
+            return []
+        if self.by_time:
+            i = self.buffer.first_index_at_or_after_time(window_start)
+        else:
+            base = pts[0].seq
+            i = min(max(int(window_start) - base, 0), len(pts))
+        return pts[i:]
+
+    def memory_units(self) -> int:
+        """Naive stores the raw window only: one unit per buffered point."""
+        return len(self.buffer)
+
+    def tracked_points(self) -> int:
+        return len(self.buffer)

@@ -1,0 +1,26 @@
+"""Benchmark harness: Table 1/2 workload builders, runners, reporting."""
+
+from .report import format_ranges, format_series, format_table
+from .runner import DEFAULT_ALGOS, AlgoSpec, SeriesResult, run_series
+from .workloads import (
+    PAPER_RANGES,
+    WORKLOAD_SPECS,
+    ScaledRanges,
+    build_workload,
+    default_ranges,
+)
+
+__all__ = [
+    "DEFAULT_ALGOS",
+    "AlgoSpec",
+    "PAPER_RANGES",
+    "ScaledRanges",
+    "SeriesResult",
+    "WORKLOAD_SPECS",
+    "build_workload",
+    "default_ranges",
+    "format_ranges",
+    "format_series",
+    "format_table",
+    "run_series",
+]

@@ -1,0 +1,94 @@
+"""Paper-style text reports for experiment series.
+
+Each figure of the paper plots CPU per window and peak memory against
+workload cardinality; :func:`format_series` renders the same series as an
+aligned text table (the terminal is our plotting device), with the per-size
+speedup factors the paper quotes ("three orders of magnitude").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .runner import SeriesResult
+
+__all__ = ["format_table", "format_series", "format_ranges"]
+
+_SKIP = "(skipped)"
+
+
+def _fmt(value: Optional[float], digits: int = 2) -> str:
+    if value is None:
+        return _SKIP
+    if isinstance(value, int):
+        return str(value)
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    title: str,
+    x_label: str,
+    xs: Sequence[int],
+    columns: Sequence[str],
+    rows_by_column: Sequence[Sequence[Optional[float]]],
+) -> str:
+    """Render one metric table: x values down, one column per algorithm."""
+    header = [x_label] + list(columns)
+    body: List[List[str]] = []
+    for i, x in enumerate(xs):
+        body.append([str(x)] + [_fmt(col[i]) for col in rows_by_column])
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in body))
+        for c in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: SeriesResult, reference: str = "sop") -> str:
+    """Both metric tables plus speedups, for one figure."""
+    algos = list(series.runs)
+    cpu_cols = [series.cpu_ms(a) for a in algos]
+    mem_cols = [series.memory_units(a) for a in algos]
+    parts = [
+        format_table(
+            f"{series.title} -- CPU time per window (ms)",
+            series.x_label, series.sizes, algos, cpu_cols,
+        ),
+        "",
+        format_table(
+            f"{series.title} -- peak memory (evidence units)",
+            series.x_label, series.sizes, algos, mem_cols,
+        ),
+    ]
+    others = [a for a in algos if a != reference and a in series.runs]
+    if reference in series.runs and others:
+        speed_cols = [series.speedup_over(reference, a) for a in others]
+        parts += [
+            "",
+            format_table(
+                f"{series.title} -- CPU speedup of {reference} (x)",
+                series.x_label, series.sizes,
+                [f"vs {a}" for a in others], speed_cols,
+            ),
+        ]
+    return "\n".join(parts)
+
+
+def format_ranges(ranges) -> str:
+    """Describe a ScaledRanges the way Table 2 lists parameters."""
+    return (
+        f"K in [{ranges.k[0]}, {ranges.k[1]})  "
+        f"R in [{ranges.r[0]:g}, {ranges.r[1]:g})  "
+        f"W in [{ranges.win[0]}, {ranges.win[1]})  "
+        f"S in [{ranges.slide[0]}, {ranges.slide[1]}) "
+        f"(quantum {ranges.slide_quantum}); fixed: "
+        f"r={ranges.fixed_r:g}, k={ranges.fixed_k}, "
+        f"win={ranges.fixed_win}, slide={ranges.fixed_slide}"
+    )

@@ -1,0 +1,124 @@
+"""Experiment runner: execute detector series over workload sizes.
+
+The paper's figures sweep the workload cardinality {10, 100, 500, 1000,
+...} and report CPU per window and peak memory per algorithm.
+:func:`run_series` reproduces one such sweep; algorithms can be *capped*
+(skipped beyond a size) because the unshared baselines genuinely cannot
+finish the largest workloads -- the same reason the paper calls SOP "the
+only known method that scales to huge workloads".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.point import Point
+from ..core.queries import QueryGroup
+from ..metrics.results import RunResult
+
+__all__ = ["AlgoSpec", "SeriesResult", "run_series", "DEFAULT_ALGOS"]
+
+#: factory signature: group -> detector
+DetectorFactory = Callable[[QueryGroup], "object"]
+
+
+@dataclass(frozen=True)
+class AlgoSpec:
+    """One algorithm column of a figure."""
+
+    name: str
+    factory: DetectorFactory
+    #: skip workload sizes strictly larger than this (None = no cap)
+    max_queries: Optional[int] = None
+
+
+def _default_algos() -> List[AlgoSpec]:
+    from ..baselines.leap import LEAPDetector
+    from ..baselines.mcod import MCODDetector
+    from ..core.sop import SOPDetector
+
+    return [
+        AlgoSpec("sop", SOPDetector),
+        AlgoSpec("mcod", MCODDetector),
+        AlgoSpec("leap", LEAPDetector),
+    ]
+
+
+def DEFAULT_ALGOS(
+    mcod_cap: Optional[int] = None, leap_cap: Optional[int] = None
+) -> List[AlgoSpec]:
+    """The paper's three contenders, with optional baseline size caps."""
+    algos = _default_algos()
+    return [
+        AlgoSpec("sop", algos[0].factory),
+        AlgoSpec("mcod", algos[1].factory, max_queries=mcod_cap),
+        AlgoSpec("leap", algos[2].factory, max_queries=leap_cap),
+    ]
+
+
+@dataclass
+class SeriesResult:
+    """One figure's worth of measurements."""
+
+    title: str
+    x_label: str
+    sizes: List[int] = field(default_factory=list)
+    #: algo name -> per-size RunResult (None where capped/skipped)
+    runs: Dict[str, List[Optional[RunResult]]] = field(default_factory=dict)
+
+    def cpu_ms(self, algo: str) -> List[Optional[float]]:
+        return [
+            (r.cpu_ms_per_window if r is not None else None)
+            for r in self.runs[algo]
+        ]
+
+    def memory_units(self, algo: str) -> List[Optional[int]]:
+        return [
+            (r.peak_memory_units if r is not None else None)
+            for r in self.runs[algo]
+        ]
+
+    def memory_kb(self, algo: str) -> List[Optional[float]]:
+        return [
+            (r.peak_memory_kb if r is not None else None)
+            for r in self.runs[algo]
+        ]
+
+    def speedup_over(self, fast: str, slow: str) -> List[Optional[float]]:
+        """Per-size CPU ratio slow/fast (the paper's 'orders of magnitude')."""
+        out: List[Optional[float]] = []
+        for rf, rs in zip(self.runs[fast], self.runs[slow]):
+            if rf is None or rs is None or rf.cpu_ms_per_window == 0:
+                out.append(None)
+            else:
+                out.append(rs.cpu_ms_per_window / rf.cpu_ms_per_window)
+        return out
+
+
+def run_series(
+    title: str,
+    points: Sequence[Point],
+    sizes: Sequence[int],
+    group_builder: Callable[[int], QueryGroup],
+    algos: Sequence[AlgoSpec],
+    x_label: str = "queries",
+    until: Optional[int] = None,
+) -> SeriesResult:
+    """Run every (size, algorithm) cell of one figure.
+
+    ``group_builder(size)`` must return the workload for that size (same
+    random seed per size across algorithms so all contenders answer the
+    same queries).
+    """
+    series = SeriesResult(title=title, x_label=x_label, sizes=list(sizes))
+    series.runs = {a.name: [] for a in algos}
+    for size in sizes:
+        group = group_builder(size)
+        for algo in algos:
+            if algo.max_queries is not None and size > algo.max_queries:
+                series.runs[algo.name].append(None)
+                continue
+            detector = algo.factory(group)
+            series.runs[algo.name].append(detector.run(points, until=until))
+    return series

@@ -1,0 +1,1 @@
+"""Core SOP machinery: queries, parser, LSky, K-SKY, evaluator, detector."""

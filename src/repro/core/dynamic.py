@@ -1,0 +1,152 @@
+"""Dynamic workloads: register and remove outlier queries at runtime.
+
+The paper motivates workloads that *change*: analysts join, tune their
+parameters, and withdraw requests while the stream keeps flowing (Sec. 1).
+:class:`DynamicSOPDetector` supports that directly:
+
+* :meth:`add_query` / :meth:`remove_query` may be called between steps;
+  the change takes effect at the next processed boundary;
+* outputs are keyed by stable integer *handles* (returned by
+  :meth:`add_query`), not positional indexes, so removing one query never
+  renumbers the others;
+* on a workload change the shared plan (layer grid, sub-groups, swift
+  schedule) is rebuilt and the live window is carried over; per-point
+  evidence is rebuilt lazily by K-SKY at the next boundary (the old
+  evidence is unusable anyway -- its normalized-distance layers refer to
+  the old grid).
+
+History limits: a newly added query can only see the points the detector
+retained, i.e. the previous swift window.  If its window is larger than
+any previously registered window, its first windows are evaluated over
+the retained suffix (exactly what a real system, unable to resurrect
+dropped tuples, would do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..core.point import Point
+from ..core.queries import OutlierQuery, QueryGroup
+from ..core.sop import SOPDetector
+from ..streams.windows import SwiftSchedule
+
+__all__ = ["DynamicSOPDetector"]
+
+
+class DynamicSOPDetector:
+    """SOP over a workload that may change between boundaries."""
+
+    name = "sop-dynamic"
+
+    def __init__(self, queries: Sequence[OutlierQuery] = (),
+                 metric="euclidean", **sop_kwargs):
+        self._metric = metric
+        self._sop_kwargs = dict(sop_kwargs)
+        self._queries: Dict[int, OutlierQuery] = {}
+        self._order: List[int] = []
+        self._next_handle = 0
+        self._inner: Optional[SOPDetector] = None
+        self._stale = False
+        for q in queries:
+            self.add_query(q)
+
+    # ------------------------------------------------------------ workload
+
+    def add_query(self, query: OutlierQuery) -> int:
+        """Register a query; returns its stable handle."""
+        if not isinstance(query, OutlierQuery):
+            raise TypeError("add_query expects an OutlierQuery")
+        if self._queries:
+            kinds = {q.kind for q in self._queries.values()}
+            if query.kind not in kinds:
+                raise ValueError(
+                    f"window kind {query.kind!r} does not match the "
+                    f"registered workload ({sorted(kinds)})"
+                )
+        handle = self._next_handle
+        self._next_handle += 1
+        self._queries[handle] = query
+        self._order.append(handle)
+        self._stale = True
+        return handle
+
+    def remove_query(self, handle: int) -> OutlierQuery:
+        """Withdraw a query by handle; returns the removed query."""
+        try:
+            query = self._queries.pop(handle)
+        except KeyError:
+            raise KeyError(f"no registered query with handle {handle}") from None
+        self._order.remove(handle)
+        self._stale = True
+        return query
+
+    @property
+    def queries(self) -> Dict[int, OutlierQuery]:
+        """Handle -> query view of the current workload."""
+        return dict(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    # ------------------------------------------------------------ schedule
+
+    @property
+    def swift(self) -> Optional[SwiftSchedule]:
+        """The current swift schedule (None while no queries registered).
+
+        Re-read this after workload mutations: the gcd slide and the
+        maximum window both change with the membership.
+        """
+        if not self._queries:
+            return None
+        if self._stale or self._inner is None:
+            return SwiftSchedule(
+                [self._queries[h].window for h in self._order])
+        return self._inner.swift
+
+    # ------------------------------------------------------------ execution
+
+    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+        """Process one boundary; returns ``{handle: outlier seqs}``.
+
+        ``t`` must be a multiple of the *current* swift slide (callers
+        should re-read :attr:`swift` after mutations).
+        """
+        if self._stale:
+            self._rebuild()
+        if self._inner is None:
+            return {}
+        raw = self._inner.step(t, batch)
+        return {self._order[qi]: seqs for qi, seqs in raw.items()}
+
+    def _rebuild(self) -> None:
+        """Swap in a fresh detector, carrying the retained window over."""
+        retained: List[Point] = []
+        if self._inner is not None:
+            retained = list(self._inner.buffer.points)
+        if not self._queries:
+            self._inner = None
+            self._stale = False
+            return
+        group = QueryGroup([self._queries[h] for h in self._order])
+        inner = SOPDetector(group, metric=self._metric, **self._sop_kwargs)
+        if retained:
+            inner.buffer.extend(retained)
+        self._inner = inner
+        self._stale = False
+
+    # -------------------------------------------------------------- metrics
+
+    def memory_units(self) -> int:
+        return self._inner.memory_units() if self._inner else 0
+
+    def tracked_points(self) -> int:
+        return self._inner.tracked_points() if self._inner else 0
+
+    @property
+    def plan(self):
+        """The current shared skyband plan (None while empty/stale)."""
+        if self._inner is None or self._stale:
+            return None
+        return self._inner.plan

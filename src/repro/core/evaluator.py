@@ -1,0 +1,119 @@
+"""Outlier-status evaluation from LSky evidence (Secs. 3.2.2, 4.1, 5).
+
+Once K-SKY has refreshed the skyband of a point ``p``, every member query's
+verdict is a pure function of the skyband:
+
+* **k-distance observation / inlier rule.**  Query ``q`` in sub-group
+  ``k_j`` with layer ``m_q``: ``p`` is an inlier iff at least ``k_j``
+  skyband entries have ``layer <= m_q`` *and* lie inside ``q``'s window.
+  The window filter is exactly the generalization of **Lemma 3**: the
+  entries within a window prefix are the youngest neighbors of ``p`` at
+  each layer, so if fewer than ``k_j`` of them fall inside ``q``'s window,
+  no excluded neighbor can make up the deficit (any excluded neighbor in
+  the window implies >= k_max younger, at-least-as-close skyband entries in
+  the window).
+* **Safe inliers / safe-for-all.**  ``p`` is safe for ``(k_j, m)`` iff
+  ``k_j`` *succeeding* entries (arrived after ``p``) have ``layer <= m`` --
+  their neighbor relationships persist for ``p``'s whole remaining life,
+  for every window size and slide (Sec. 4.1/4.2).  ``p`` is *fully safe*
+  when this holds at each sub-group's smallest layer; fully safe points
+  are excluded from all future evaluation and their skyband is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .lsky import LSky
+from .parser import SkybandPlan
+
+__all__ = [
+    "safe_min_layers",
+    "is_fully_safe",
+    "is_outlier_for_query",
+    "outlier_query_indexes",
+    "statuses_by_k_distance",
+]
+
+
+def safe_min_layers(
+    plan: SkybandPlan, lsky: LSky, p_seq: int
+) -> Dict[int, Optional[int]]:
+    """Per sub-group ``k``: the smallest layer at which ``p`` is safe.
+
+    Returns ``{k_j: m}`` where ``m`` is the minimal layer such that ``p``
+    has ``k_j`` succeeding skyband neighbors with layer <= ``m`` (``None``
+    if fewer than ``k_j`` succeeding neighbors exist at all).  ``p`` is then
+    a safe inlier for every query ``(k_j, layer >= m)`` regardless of its
+    window parameters.
+    """
+    succ = sorted(lsky.succ_layers(p_seq))
+    return {
+        k: (succ[k - 1] if len(succ) >= k else None) for k in plan.k_list
+    }
+
+
+def is_fully_safe(plan: SkybandPlan, safe_layers: Dict[int, Optional[int]]) -> bool:
+    """True iff ``p`` is a safe inlier for *every* query in the workload.
+
+    Sub-group ``Q_j`` is fully covered when the safe layer for ``k_j`` is at
+    or below the sub-group's smallest member layer (its hardest query).
+    """
+    for sg in plan.subgroups:
+        m = safe_layers.get(sg.k)
+        if m is None or m > sg.min_layer:
+            return False
+    return True
+
+
+def is_outlier_for_query(
+    plan: SkybandPlan, lsky: LSky, query_idx: int, t: int
+) -> bool:
+    """Scalar verdict of one member query at boundary ``t``.
+
+    The caller guarantees the evaluated point is inside the query's window.
+    """
+    q = plan.group[query_idx]
+    m_q = plan.query_layers[query_idx]
+    window_start, _ = q.window.interval_at(t)
+    count = lsky.count_within(m_q, float(window_start), q.k)
+    return count < q.k
+
+
+def outlier_query_indexes(
+    plan: SkybandPlan,
+    lsky: LSky,
+    p_pos: float,
+    due: Sequence[int],
+    t: int,
+) -> List[int]:
+    """Indexes of due queries that classify ``p`` as an outlier at ``t``.
+
+    Skips queries whose window does not contain ``p`` (not in population).
+    This is the scalar reference path; the SOP detector vectorizes the same
+    computation across the population.
+    """
+    out: List[int] = []
+    for qi in due:
+        q = plan.group[qi]
+        if not q.window.contains(p_pos, t):
+            continue
+        if is_outlier_for_query(plan, lsky, qi, t):
+            out.append(qi)
+    return out
+
+
+def statuses_by_k_distance(
+    plan: SkybandPlan, lsky: LSky, k: int
+) -> List[bool]:
+    """The raw *k-distance observation* of Sec. 3.1.1, for tests and docs.
+
+    For sub-group ``k`` in the swift window (no window filtering): returns
+    ``is_outlier`` per layer -- ``True`` for layers strictly below the
+    k-distance layer, ``False`` at or above it.  With fewer than ``k``
+    skyband points, ``p`` is an outlier everywhere.
+    """
+    kd = lsky.k_distance_layer(k)
+    if kd is None:
+        return [True] * plan.n_layers
+    return [m < kd for m in range(plan.n_layers)]

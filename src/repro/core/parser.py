@@ -1,0 +1,189 @@
+"""SOP query parser: from an outlier workload to one skyband plan.
+
+This module implements the "query parser" box of the SOP framework
+(Fig. 6, Sec. 5) plus the *normalized distance* of Def. 4:
+
+* the workload's unique ``r`` values form the global layer grid
+  (:class:`RGrid`); the normalized distance of a point is the index of the
+  layer (bucket) it falls into;
+* queries are partitioned into sub-groups by ``k`` (Sec. 3.2.1); each
+  sub-group records its member queries and its smallest layer (used for the
+  per-sub-group termination of Example 3 and the safe-for-all test);
+* Def. 6 condition (3) is precomputed as ``allowed_layer[c]``: a point
+  dominated by ``c`` points is a skyband point only if its layer does not
+  exceed the largest layer of any sub-group with ``k_j > c``;
+* the swift schedule (``win = max win``, ``slide = gcd of slides``,
+  Sec. 4.3) is taken from the :class:`~repro.core.queries.QueryGroup`.
+
+The resulting :class:`SkybandPlan` is immutable and shared by K-SKY, the
+status evaluator, and the SOP detector.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..streams.windows import SwiftSchedule
+from .queries import OutlierQuery, QueryGroup
+
+__all__ = ["RGrid", "Subgroup", "SkybandPlan", "parse_workload"]
+
+
+class RGrid:
+    """The sorted unique ``r`` values of the workload, as distance layers.
+
+    Layer ``m`` (0-based) holds points whose original distance ``d``
+    satisfies ``grid[m-1] < d <= grid[m]`` -- exactly Def. 4 with the
+    paper's 1-based ``m+1`` shifted to 0-based indexes.  ``layer_of``
+    returns ``len(grid)`` (the :attr:`beyond` sentinel) for points farther
+    than the largest ``r``; such points are neighbors of no query and are
+    dropped by Def. 5 condition (3).
+    """
+
+    def __init__(self, r_values: Sequence[float]):
+        grid = tuple(sorted({float(r) for r in r_values}))
+        if not grid:
+            raise ValueError("RGrid requires at least one r value")
+        if grid[0] <= 0:
+            raise ValueError("r values must be positive")
+        self.values: Tuple[float, ...] = grid
+        self._array = np.asarray(grid, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def beyond(self) -> int:
+        """Sentinel layer index for distances beyond the largest ``r``."""
+        return len(self.values)
+
+    def layer_of(self, distance: float) -> int:
+        """Normalized distance (0-based layer) of one original distance."""
+        return bisect_left(self.values, distance)
+
+    def layers_of(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized ``layer_of`` over an array of distances."""
+        return np.searchsorted(self._array, distances, side="left")
+
+    def layer_of_r(self, r: float) -> int:
+        """Layer index of an exact workload ``r`` value."""
+        m = bisect_left(self.values, r)
+        if m >= len(self.values) or self.values[m] != r:
+            raise ValueError(f"r={r!r} is not a workload r value")
+        return m
+
+    def radius_of_layer(self, m: int) -> float:
+        """The ``r`` threshold bounding layer ``m`` from above."""
+        return self.values[m]
+
+
+class Subgroup:
+    """One sub-group ``Q_j``: all member queries sharing ``k = k_j``."""
+
+    def __init__(self, k: int, member_indexes: Sequence[int],
+                 member_layers: Sequence[int]):
+        if len(member_indexes) != len(member_layers):
+            raise ValueError("member indexes and layers must align")
+        self.k = k
+        self.members: Tuple[int, ...] = tuple(member_indexes)
+        #: layer of each member query's r, aligned with :attr:`members`
+        self.member_layers: Tuple[int, ...] = tuple(member_layers)
+        #: the smallest layer among member queries -- resolving this layer
+        #: resolves the entire sub-group (Example 3's termination)
+        self.min_layer: int = min(member_layers)
+        #: the largest layer among member queries (Def. 6 condition 3)
+        self.max_layer: int = max(member_layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Subgroup(k={self.k}, members={len(self.members)}, "
+            f"layers=[{self.min_layer}..{self.max_layer}])"
+        )
+
+
+class SkybandPlan:
+    """Everything K-SKY and the evaluator need, derived once per workload."""
+
+    def __init__(self, group: QueryGroup):
+        self.group = group
+        self.grid = RGrid(group.r_grid)
+        self.n_layers = len(self.grid)
+        self.swift: SwiftSchedule = group.swift
+        self.kind = group.kind
+
+        by_k = group.subgroups_by_k()
+        self.subgroups: Tuple[Subgroup, ...] = tuple(
+            Subgroup(
+                k=k,
+                member_indexes=members,
+                member_layers=[self.grid.layer_of_r(group[i].r) for i in members],
+            )
+            for k, members in by_k.items()
+        )
+        self.k_list: Tuple[int, ...] = tuple(sg.k for sg in self.subgroups)
+        self.k_max: int = self.k_list[-1]
+
+        #: per-query layer of its ``r``, aligned with ``group.queries``
+        self.query_layers: Tuple[int, ...] = tuple(
+            self.grid.layer_of_r(q.r) for q in group.queries
+        )
+        #: per-query sub-group position (index into :attr:`subgroups`)
+        k_pos = {sg.k: j for j, sg in enumerate(self.subgroups)}
+        self.query_subgroup: Tuple[int, ...] = tuple(
+            k_pos[q.k] for q in group.queries
+        )
+
+        self.allowed_layer: Tuple[int, ...] = self._build_allowed_layers()
+
+        # vectorized views used by the detector's hot paths
+        self.subgroup_ks = np.asarray([sg.k for sg in self.subgroups],
+                                      dtype=np.int64)
+        self.subgroup_min_layers = np.asarray(
+            [sg.min_layer for sg in self.subgroups], dtype=np.int64)
+
+    def _build_allowed_layers(self) -> Tuple[int, ...]:
+        """Def. 6 condition (3) as a lookup by dominator count.
+
+        ``allowed_layer[c]`` is the largest layer a point dominated by ``c``
+        points may occupy while still being a skyband point: the maximum
+        ``max_layer`` over sub-groups with ``k_j > c``.  For ``c >= k_max``
+        the point is dominated for every query, which condition (2) already
+        rejects, so the table only spans ``c in [0, k_max)``.
+        """
+        allowed = [0] * self.k_max
+        # suffix maximum over subgroups ordered by ascending k
+        suffix = -1
+        j = len(self.subgroups) - 1
+        for c in range(self.k_max - 1, -1, -1):
+            while j >= 0 and self.subgroups[j].k > c:
+                suffix = max(suffix, self.subgroups[j].max_layer)
+                j -= 1
+            allowed[c] = suffix
+        return tuple(allowed)
+
+    # ------------------------------------------------------------- utilities
+
+    def layer_radius(self, m: int) -> float:
+        """Upper ``r`` bound of layer ``m``."""
+        return self.grid.radius_of_layer(m)
+
+    def query(self, i: int) -> OutlierQuery:
+        return self.group[i]
+
+    def describe(self) -> str:
+        """Human-readable plan summary (used by examples and reports)."""
+        lines = [
+            f"workload: {len(self.group)} queries, window kind={self.kind}",
+            f"layers (unique r values): {self.n_layers}",
+            f"k sub-groups: {list(self.k_list)} (k_max={self.k_max})",
+            f"swift query: win={self.swift.win}, slide={self.swift.slide}",
+        ]
+        return "\n".join(lines)
+
+
+def parse_workload(group: QueryGroup) -> SkybandPlan:
+    """Parse a workload into its shared skyband plan (Fig. 6 query parser)."""
+    return SkybandPlan(group)

@@ -1,0 +1,210 @@
+"""Stream point model and distance metrics.
+
+A *data point* (Sec. 2 of the paper) is a multi-dimensional tuple drawn from
+a data stream.  Every point carries:
+
+* ``seq`` -- its arrival sequence number (0-based).  Count-based windows are
+  expressed directly in ``seq`` units.
+* ``time`` -- its arrival timestamp.  Time-based windows are expressed in
+  ``time`` units.  For count-based streams ``time`` defaults to ``seq``.
+* ``values`` -- the numeric attribute vector used by the distance function.
+
+Arrival order is total: ``p_i.seq < p_j.seq`` iff ``p_i`` arrived strictly
+before ``p_j``.  The paper's domination relationship (Def. 5) compares
+arrival *time*; we compare ``seq`` so that simultaneous timestamps still
+yield the strict order the proofs rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "DistanceMetric",
+    "euclidean",
+    "manhattan",
+    "chebyshev",
+    "get_metric",
+    "register_metric",
+    "available_metrics",
+]
+
+
+@dataclass(frozen=True)
+class Point:
+    """A single stream tuple.
+
+    Instances are immutable and hashable so they can be used as members of
+    outlier result sets and as keys in per-point evidence maps.
+    Identity for result comparison purposes is the arrival ``seq``.
+    """
+
+    seq: int
+    values: Tuple[float, ...]
+    time: float = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.time is None:
+            object.__setattr__(self, "time", float(self.seq))
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(float(v) for v in self.values))
+        if not self.values:
+            raise ValueError("a point needs at least one attribute")
+        for v in self.values:
+            if not math.isfinite(v):
+                raise ValueError(
+                    f"point seq={self.seq} has non-finite attribute {v!r}; "
+                    "distances would be undefined"
+                )
+
+    @property
+    def dim(self) -> int:
+        """Number of attributes of this point."""
+        return len(self.values)
+
+    def project(self, attributes: Sequence[int]) -> "Point":
+        """Return a copy restricted to the given attribute indexes.
+
+        Used by the multi-attribute divide-and-conquer extension
+        (Fig. 10(b)): queries over different attribute sets are answered by
+        projecting the stream onto each set.
+        """
+        return Point(
+            seq=self.seq,
+            values=tuple(self.values[a] for a in attributes),
+            time=self.time,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        vals = ", ".join(f"{v:g}" for v in self.values)
+        return f"Point(seq={self.seq}, t={self.time:g}, ({vals}))"
+
+
+class DistanceMetric:
+    """A named distance function with scalar and vectorized forms.
+
+    ``scalar(a, b)`` computes the distance between two value tuples.
+    ``to_block(q, block)`` computes distances from ``q`` (1-D array) to every
+    row of ``block`` (2-D array) -- the kernel all detectors use so CPU
+    comparisons are not skewed by uneven numpy usage.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scalar: Callable[[Sequence[float], Sequence[float]], float],
+        to_block: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> None:
+        self.name = name
+        self._scalar = scalar
+        self._to_block = to_block
+
+    def __call__(self, a: Sequence[float], b: Sequence[float]) -> float:
+        return self._scalar(a, b)
+
+    def between_points(self, a: Point, b: Point) -> float:
+        """Distance between two :class:`Point` objects."""
+        return self._scalar(a.values, b.values)
+
+    def to_block(self, query: np.ndarray, block: np.ndarray) -> np.ndarray:
+        """Vectorized distances from one query vector to a matrix of rows."""
+        return self._to_block(query, block)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceMetric({self.name!r})"
+
+
+def _euclidean_scalar(a: Sequence[float], b: Sequence[float]) -> float:
+    return math.sqrt(sum((x - y) * (x - y) for x, y in zip(a, b)))
+
+
+def _euclidean_block(q: np.ndarray, block: np.ndarray) -> np.ndarray:
+    diff = block - q
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def _manhattan_scalar(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum(abs(x - y) for x, y in zip(a, b))
+
+
+def _manhattan_block(q: np.ndarray, block: np.ndarray) -> np.ndarray:
+    return np.abs(block - q).sum(axis=1)
+
+
+def _chebyshev_scalar(a: Sequence[float], b: Sequence[float]) -> float:
+    return max((abs(x - y) for x, y in zip(a, b)), default=0.0)
+
+
+def _chebyshev_block(q: np.ndarray, block: np.ndarray) -> np.ndarray:
+    return np.abs(block - q).max(axis=1)
+
+
+euclidean = DistanceMetric("euclidean", _euclidean_scalar, _euclidean_block)
+manhattan = DistanceMetric("manhattan", _manhattan_scalar, _manhattan_block)
+chebyshev = DistanceMetric("chebyshev", _chebyshev_scalar, _chebyshev_block)
+
+_METRICS: Dict[str, DistanceMetric] = {
+    "euclidean": euclidean,
+    "manhattan": manhattan,
+    "chebyshev": chebyshev,
+}
+
+
+def register_metric(metric: DistanceMetric) -> None:
+    """Register a custom metric so queries can reference it by name."""
+    if not isinstance(metric, DistanceMetric):
+        raise TypeError("register_metric expects a DistanceMetric")
+    _METRICS[metric.name] = metric
+
+
+def get_metric(name_or_metric) -> DistanceMetric:
+    """Resolve a metric by name (or pass a :class:`DistanceMetric` through)."""
+    if isinstance(name_or_metric, DistanceMetric):
+        return name_or_metric
+    try:
+        return _METRICS[name_or_metric]
+    except KeyError:
+        known = ", ".join(sorted(_METRICS))
+        raise KeyError(
+            f"unknown distance metric {name_or_metric!r}; known metrics: {known}"
+        ) from None
+
+
+def available_metrics() -> Tuple[str, ...]:
+    """Names of all registered metrics."""
+    return tuple(sorted(_METRICS))
+
+
+def points_from_array(
+    array: Iterable[Sequence[float]],
+    times: Iterable[float] = None,
+    start_seq: int = 0,
+) -> Tuple[Point, ...]:
+    """Build a tuple of points from an iterable of value rows.
+
+    ``times`` optionally assigns arrival timestamps; it must be
+    non-decreasing.  This is the main adapter for feeding numpy arrays or
+    plain lists into the detectors.
+    """
+    rows = [tuple(float(v) for v in row) for row in array]
+    if times is None:
+        return tuple(
+            Point(seq=start_seq + i, values=row) for i, row in enumerate(rows)
+        )
+    tlist = [float(t) for t in times]
+    if len(tlist) != len(rows):
+        raise ValueError(
+            f"times has {len(tlist)} entries but array has {len(rows)} rows"
+        )
+    for earlier, later in zip(tlist, tlist[1:]):
+        if later < earlier:
+            raise ValueError("times must be non-decreasing")
+    return tuple(
+        Point(seq=start_seq + i, values=row, time=t)
+        for i, (row, t) in enumerate(zip(rows, tlist))
+    )

@@ -1,0 +1,179 @@
+"""Outlier query model: ``q(r, k, win, slide)`` and query groups.
+
+Sec. 2 of the paper: a streaming distance-based outlier query is
+parameterized by the *pattern-specific* parameters ``r`` (neighbor range)
+and ``k`` (neighbor count threshold) and the *window-specific* parameters
+``win`` and ``slide``.  A point ``p`` of the current window ``W`` is an
+outlier for ``q`` iff fewer than ``k`` other window points lie within
+distance ``r`` of ``p``.
+
+A :class:`QueryGroup` is the workload ``Q`` of member queries processed
+concurrently over one stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..streams.windows import SwiftSchedule, WindowSpec
+
+__all__ = ["OutlierQuery", "QueryGroup"]
+
+
+@dataclass(frozen=True)
+class OutlierQuery:
+    """One distance-based outlier detection request.
+
+    ``attributes`` optionally restricts the query to a subset of the stream's
+    attribute indexes (Fig. 10(b) workloads); ``None`` means all attributes.
+    ``name`` labels the query in outputs and reports.
+    """
+
+    r: float
+    k: int
+    window: WindowSpec
+    attributes: Optional[Tuple[int, ...]] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.k, int) and not isinstance(self.k, bool)):
+            raise TypeError(f"k must be an int, got {type(self.k).__name__}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        r = float(self.r)
+        if not r > 0:
+            raise ValueError(f"r must be positive, got {self.r}")
+        object.__setattr__(self, "r", r)
+        if not isinstance(self.window, WindowSpec):
+            raise TypeError("window must be a WindowSpec")
+        if self.attributes is not None:
+            attrs = tuple(int(a) for a in self.attributes)
+            if len(set(attrs)) != len(attrs):
+                raise ValueError(f"duplicate attribute indexes in {attrs}")
+            if any(a < 0 for a in attrs):
+                raise ValueError(f"attribute indexes must be >= 0, got {attrs}")
+            object.__setattr__(self, "attributes", attrs)
+        if not self.name:
+            object.__setattr__(self, "name", self.default_name())
+
+    def default_name(self) -> str:
+        """Canonical label ``q(r,k,win,slide)``."""
+        return (
+            f"q(r={self.r:g},k={self.k},win={self.window.win},"
+            f"slide={self.window.slide})"
+        )
+
+    # convenience accessors mirroring the paper's notation
+    @property
+    def win(self) -> int:
+        return self.window.win
+
+    @property
+    def slide(self) -> int:
+        return self.window.slide
+
+    @property
+    def kind(self) -> str:
+        return self.window.kind
+
+    def replace(self, **changes) -> "OutlierQuery":
+        """Return a copy with the given fields replaced."""
+        current = {
+            "r": self.r,
+            "k": self.k,
+            "window": self.window,
+            "attributes": self.attributes,
+            "name": "",
+        }
+        win_changes = {k: changes.pop(k) for k in ("win", "slide", "kind")
+                       if k in changes}
+        if win_changes:
+            current["window"] = WindowSpec(
+                win=win_changes.get("win", self.window.win),
+                slide=win_changes.get("slide", self.window.slide),
+                kind=win_changes.get("kind", self.window.kind),
+            )
+        current.update(changes)
+        return OutlierQuery(**current)
+
+
+class QueryGroup:
+    """The workload ``Q``: member queries sharing one input stream.
+
+    All member windows must share a kind (count- or time-based).  The group
+    exposes the derived quantities the SOP framework needs: the sorted
+    unique ``r`` grid, the ``k`` subgroups, and the swift schedule.
+    """
+
+    def __init__(self, queries: Sequence[OutlierQuery]):
+        members = tuple(queries)
+        if not members:
+            raise ValueError("QueryGroup requires at least one query")
+        kinds = {q.kind for q in members}
+        if len(kinds) != 1:
+            raise ValueError(
+                f"all queries in a group must share a window kind, got {sorted(kinds)}"
+            )
+        attr_sets = {q.attributes for q in members}
+        if len(attr_sets) != 1:
+            raise ValueError(
+                "a QueryGroup must be homogeneous in attribute sets; use "
+                "repro.core.multi_attr.MultiAttributeSOP for mixed workloads"
+            )
+        self.queries: Tuple[OutlierQuery, ...] = members
+        self.kind: str = members[0].kind
+        self.attributes: Optional[Tuple[int, ...]] = members[0].attributes
+        self.swift = SwiftSchedule([q.window for q in members])
+
+    # ------------------------------------------------------------ container
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[OutlierQuery]:
+        return iter(self.queries)
+
+    def __getitem__(self, i: int) -> OutlierQuery:
+        return self.queries[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryGroup({len(self.queries)} queries, kind={self.kind!r}, "
+            f"k_max={self.k_max}, r_grid={len(self.r_grid)} layers)"
+        )
+
+    # --------------------------------------------------------- derived views
+
+    @property
+    def r_grid(self) -> Tuple[float, ...]:
+        """Sorted unique ``r`` values across the whole group (Def. 4 grid)."""
+        return tuple(sorted({q.r for q in self.queries}))
+
+    @property
+    def k_values(self) -> Tuple[int, ...]:
+        """Sorted unique ``k`` values across the group."""
+        return tuple(sorted({q.k for q in self.queries}))
+
+    @property
+    def k_max(self) -> int:
+        return max(q.k for q in self.queries)
+
+    @property
+    def r_min(self) -> float:
+        return min(q.r for q in self.queries)
+
+    @property
+    def r_max(self) -> float:
+        return max(q.r for q in self.queries)
+
+    def subgroups_by_k(self) -> Dict[int, List[int]]:
+        """Member indexes grouped by ``k`` (the paper's sub-groups Q_j)."""
+        groups: Dict[int, List[int]] = {}
+        for i, q in enumerate(self.queries):
+            groups.setdefault(q.k, []).append(i)
+        return {k: groups[k] for k in sorted(groups)}
+
+    def due_members(self, t: int) -> List[int]:
+        """Member indexes whose query produces output at boundary ``t``."""
+        return [i for i, q in enumerate(self.queries) if q.window.due_at(t)]

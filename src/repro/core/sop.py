@@ -1,0 +1,299 @@
+"""SOP: the sharing-aware multi-query outlier detector (Alg. 3, Fig. 6).
+
+Execution model per swift boundary ``t`` (``slide = gcd`` of member slides,
+``win = max`` of member windows -- Sec. 4.3/5):
+
+1. ingest the new batch, expire points older than the swift window;
+2. for every live point that is not a *fully safe inlier*, refresh its
+   skyband with K-SKY -- new points search from scratch, surviving points
+   search only the new arrivals plus their unexpired skyband (Alg. 1);
+3. derive safe-inlier state from the refreshed skyband; fully safe points
+   drop their evidence and are never evaluated again (safe-for-all,
+   Sec. 4.1/4.2);
+4. for each member query due at ``t``, classify its window population by
+   counting skyband entries (inlier rule + Lemma 3), vectorized across the
+   population.
+
+Per-point evidence is held as numpy arrays ``(seqs, poss, layers)`` in
+arrival-descending order.  The least-examination step is then three array
+operations: mask out expired entries, mask out entries the new arrivals
+alone over-dominate (Def. 6 condition 2 -- older entries can never
+dominate younger ones, so no per-entry rescan is needed), and concatenate
+the new-arrival entries in front.  Safety and due-query evaluation are
+likewise vectorized.
+
+Ablation switches (used by ``benchmarks/bench_ablations.py``):
+
+* ``eager=False`` -- refresh skybands only at boundaries where some member
+  query is due, instead of at every swift boundary;
+* ``use_safe_inliers=False`` -- never prune fully safe points;
+* ``use_least_examination=False`` -- surviving points rescan the whole
+  window instead of (new arrivals + old skyband).
+
+All switches preserve output equality; they only trade CPU/memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import Detector
+from ..streams.buffer import WindowBuffer
+from .ksky import KSkyRunner
+from .lsky import LSky
+from .parser import SkybandPlan, parse_workload
+from .point import Point
+from .queries import QueryGroup
+
+__all__ = ["SOPDetector"]
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+class _PointState:
+    """Per-live-point bookkeeping: evidence arrays + safety + horizon.
+
+    ``seqs``/``poss``/``layers`` hold the skyband in arrival-descending
+    order (``None`` once the point is fully safe and evidence is dropped).
+    """
+
+    __slots__ = ("seqs", "poss", "layers", "last_seen_seq", "fully_safe")
+
+    def __init__(self, seqs, poss, layers, last_seen_seq: int,
+                 fully_safe: bool):
+        self.seqs = seqs
+        self.poss = poss
+        self.layers = layers
+        self.last_seen_seq = last_seen_seq
+        self.fully_safe = fully_safe
+
+    def entry_count(self) -> int:
+        return 0 if self.seqs is None else len(self.seqs)
+
+    @property
+    def lsky(self):
+        """Rebuild an :class:`LSky` view of the evidence (tests/inspection)."""
+        if self.seqs is None:
+            return None
+        sky = LSky(max(int(self.layers.max()) + 1, 1) if len(self.layers)
+                   else 1)
+        sky.n_layers = 1 << 30  # permissive: view only
+        for seq, pos, layer in zip(self.seqs, self.poss, self.layers):
+            sky.insert(int(seq), float(pos), int(layer))
+        return sky
+
+
+def _arrays_from_lsky(sky: LSky):
+    """Freeze a scan result into the per-point evidence arrays."""
+    return (
+        np.asarray(sky.seqs, dtype=np.int64),
+        np.asarray(sky.poss, dtype=np.float64),
+        np.asarray(sky.layers, dtype=np.int64),
+    )
+
+
+class SOPDetector(Detector):
+    """Sharing-aware outlier processing over a query workload."""
+
+    name = "sop"
+
+    def __init__(
+        self,
+        group: QueryGroup,
+        metric="euclidean",
+        chunk_size: int = 256,
+        eager: bool = True,
+        use_safe_inliers: bool = True,
+        use_least_examination: bool = True,
+    ):
+        super().__init__(group, metric)
+        self.plan: SkybandPlan = parse_workload(group)
+        self.runner = KSkyRunner(self.plan, chunk_size=chunk_size)
+        self.buffer = WindowBuffer(self.metric)
+        self.eager = eager
+        self.use_safe_inliers = use_safe_inliers
+        self.use_least_examination = use_least_examination
+        self._states: Dict[int, _PointState] = {}
+        #: counters for ablation studies and optimality tests
+        self.stats = {
+            "ksky_runs": 0,
+            "points_examined": 0,
+            "early_terminations": 0,
+            "fully_safe_marked": 0,
+        }
+
+    # ------------------------------------------------------------- pipeline
+
+    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+        self.buffer.extend(batch)
+        start = max(0, t - self.swift.win)
+        for p in self.buffer.evict_before(start, self.by_time):
+            self._states.pop(p.seq, None)
+        due = self.group.due_members(t)
+        if self.eager or due:
+            self._refresh(float(start))
+        if not due:
+            return {}
+        return self._evaluate_due(due, t)
+
+    # ------------------------------------------------------------ refreshing
+
+    def _refresh(self, window_start: float) -> None:
+        """Run K-SKY for every live, non-fully-safe point (Alg. 3 loop)."""
+        buf = self.buffer
+        pts = buf.points
+        if not pts:
+            return
+        newest_seq = pts[-1].seq
+        base_seq = pts[0].seq
+        n_live = len(pts)
+        states = self._states
+        k_max = self.plan.k_max
+        for p in pts:
+            st = states.get(p.seq)
+            if st is not None and st.fully_safe:
+                continue
+            if st is None or not self.use_least_examination:
+                result = self.runner.run_new_point(p.values, p.seq, buf)
+                seqs, poss, layers = _arrays_from_lsky(result.lsky)
+                examined = result.examined
+                terminated = result.terminated_early
+            else:
+                new_from = min(max(st.last_seen_seq + 1 - base_seq, 0),
+                               n_live)
+                scan = self.runner.scan_new_arrivals(p.values, p.seq, buf,
+                                                     new_from)
+                examined = scan.examined
+                terminated = scan.terminated_early
+                n_seqs, n_poss, n_layers = _arrays_from_lsky(scan.lsky)
+                if terminated or st.seqs is None or not len(st.seqs):
+                    seqs, poss, layers = n_seqs, n_poss, n_layers
+                else:
+                    # least examination, vectorized: expire, trim entries
+                    # the new arrivals alone over-dominate, concatenate
+                    keep = st.poss >= window_start
+                    examined += int(keep.sum())
+                    if len(n_layers):
+                        new_sorted = np.sort(n_layers)
+                        dominated = np.searchsorted(
+                            new_sorted, st.layers, side="right") >= k_max
+                        keep &= ~dominated
+                        seqs = np.concatenate((n_seqs, st.seqs[keep]))
+                        poss = np.concatenate((n_poss, st.poss[keep]))
+                        layers = np.concatenate((n_layers, st.layers[keep]))
+                    elif keep.all():
+                        seqs, poss, layers = st.seqs, st.poss, st.layers
+                    else:
+                        seqs = st.seqs[keep]
+                        poss = st.poss[keep]
+                        layers = st.layers[keep]
+            self.stats["ksky_runs"] += 1
+            self.stats["points_examined"] += examined
+            if terminated:
+                self.stats["early_terminations"] += 1
+            if self.use_safe_inliers and self._is_fully_safe(p.seq, seqs,
+                                                             layers):
+                self.stats["fully_safe_marked"] += 1
+                states[p.seq] = _PointState(None, None, None, newest_seq,
+                                            True)
+            elif st is None:
+                states[p.seq] = _PointState(seqs, poss, layers, newest_seq,
+                                            False)
+            else:
+                st.seqs, st.poss, st.layers = seqs, poss, layers
+                st.last_seen_seq = newest_seq
+
+    def _is_fully_safe(self, p_seq: int, seqs: np.ndarray,
+                       layers: np.ndarray) -> bool:
+        """Safe-for-all test (Sec. 4.1/4.2), vectorized.
+
+        ``p`` is fully safe iff for every sub-group ``k_j`` the ``k_j``-th
+        smallest layer among *succeeding* entries is at or below the
+        sub-group's smallest member layer.
+        """
+        plan = self.plan
+        if not len(seqs) or len(seqs) < plan.k_list[0]:
+            return False
+        # entries are seq-descending: successors form the prefix
+        n_succ = int(np.searchsorted(-seqs, -p_seq, side="left"))
+        if n_succ < plan.k_list[0]:
+            return False
+        succ_sorted = np.sort(layers[:n_succ])
+        ks = plan.subgroup_ks
+        if n_succ < ks[-1]:
+            return False
+        return bool(np.all(succ_sorted[ks - 1] <= plan.subgroup_min_layers))
+
+    # ------------------------------------------------------------ evaluation
+
+    def _evaluate_due(
+        self, due: Sequence[int], t: int
+    ) -> Dict[int, FrozenSet[int]]:
+        """Classify each due query's population from the shared evidence.
+
+        One flattened pass builds ``(owner, layer, pos)`` arrays over all
+        non-safe points; each due query is then a masked ``bincount`` --
+        the vectorized form of the inlier rule + Lemma 3 counting.
+        """
+        pts = self.buffer.points
+        out: Dict[int, FrozenSet[int]] = {}
+        if not pts:
+            return {qi: frozenset() for qi in due}
+
+        p_seqs: List[int] = []
+        p_poss: List[float] = []
+        lengths: List[int] = []
+        layer_chunks: List[np.ndarray] = []
+        pos_chunks: List[np.ndarray] = []
+        for p in pts:
+            st = self._states[p.seq]
+            if st.fully_safe:
+                continue  # inlier for every query, forever
+            p_seqs.append(p.seq)
+            p_poss.append(self.position(p))
+            n = st.entry_count()
+            lengths.append(n)
+            if n:
+                layer_chunks.append(st.layers)
+                pos_chunks.append(st.poss)
+        row = len(p_seqs)
+        seq_arr = np.asarray(p_seqs, dtype=np.int64)
+        ppos_arr = np.asarray(p_poss, dtype=np.float64)
+        len_arr = np.asarray(lengths, dtype=np.int64)
+        own_arr = (np.repeat(np.arange(row, dtype=np.int64), len_arr)
+                   if row else _EMPTY_I)
+        lay_arr = (np.concatenate(layer_chunks) if layer_chunks
+                   else _EMPTY_I)
+        epos_arr = (np.concatenate(pos_chunks) if pos_chunks
+                    else _EMPTY_F)
+
+        for qi in due:
+            q = self.group[qi]
+            ws = float(max(0, t - q.win))
+            m_q = self.plan.query_layers[qi]
+            if row == 0:
+                out[qi] = frozenset()
+                continue
+            emask = (lay_arr <= m_q) & (epos_arr >= ws)
+            counts = np.bincount(own_arr[emask], minlength=row)
+            sel = (ppos_arr >= ws) & (counts < q.k)
+            out[qi] = frozenset(int(s) for s in seq_arr[sel])
+        return out
+
+    # -------------------------------------------------------------- metrics
+
+    def memory_units(self) -> int:
+        """Skyband entries currently stored (the paper's MEM metric)."""
+        return sum(st.entry_count() for st in self._states.values())
+
+    def tracked_points(self) -> int:
+        return len(self._states)
+
+    # ------------------------------------------------------------ inspection
+
+    def state_of(self, seq: int) -> Optional[_PointState]:
+        """Expose one point's state (tests and the quickstart example)."""
+        return self._states.get(seq)

@@ -1,0 +1,6 @@
+"""Evaluation metrics: CPU per window, peak evidence memory, run results."""
+
+from .meters import CpuMeter, MemoryMeter
+from .results import RunResult, compare_outputs
+
+__all__ = ["CpuMeter", "MemoryMeter", "RunResult", "compare_outputs"]

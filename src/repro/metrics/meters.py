@@ -1,0 +1,89 @@
+"""CPU and memory meters matching the paper's evaluation metrics (Sec. 6.1).
+
+The paper reports two metrics per experiment:
+
+* **CPU time per window** -- "the total amount of system time resources
+  used to process the queries on the data in one window", averaged over
+  all windows.  :class:`CpuMeter` accumulates a wall-clock sample per
+  processed boundary (pure-Python detectors are single-threaded and
+  CPU-bound, so wall time tracks CPU time).
+* **Peak memory (MEM)** -- "the memory required to store the information
+  for each active object (i.e. the skyband points) and the outliers".
+  Measuring Python-object RSS would mostly measure interpreter overhead,
+  so detectors report *evidence units*: the number of stored evidence
+  entries (skyband entries for SOP, neighbor-list entries for MCOD,
+  evidence neighbors for LEAP) plus per-tracked-point overhead.
+  :class:`MemoryMeter` keeps the peak and converts units to estimated
+  bytes with the cost model below.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+__all__ = ["CpuMeter", "MemoryMeter", "EVIDENCE_ENTRY_BYTES", "POINT_STATE_BYTES"]
+
+#: cost model: one evidence entry ~ (neighbor id + position + layer/distance)
+EVIDENCE_ENTRY_BYTES = 24
+#: cost model: fixed bookkeeping per tracked point per structure
+POINT_STATE_BYTES = 48
+
+
+class CpuMeter:
+    """Accumulates per-boundary processing-time samples."""
+
+    def __init__(self) -> None:
+        self.samples_ns: List[int] = []
+        self._started_at: int = 0
+
+    def start(self) -> None:
+        self._started_at = time.perf_counter_ns()
+
+    def stop(self) -> None:
+        self.samples_ns.append(time.perf_counter_ns() - self._started_at)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.samples_ns) / 1e9
+
+    @property
+    def mean_ms_per_window(self) -> float:
+        """Average processing time per window in milliseconds (paper's CPU)."""
+        if not self.samples_ns:
+            return 0.0
+        return sum(self.samples_ns) / len(self.samples_ns) / 1e6
+
+    @property
+    def max_ms(self) -> float:
+        if not self.samples_ns:
+            return 0.0
+        return max(self.samples_ns) / 1e6
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)
+
+
+class MemoryMeter:
+    """Tracks peak evidence units and converts them to estimated bytes."""
+
+    def __init__(self) -> None:
+        self.peak_units: int = 0
+        self.peak_points: int = 0
+        self.last_units: int = 0
+
+    def sample(self, units: int, tracked_points: int = 0) -> None:
+        self.last_units = units
+        if units > self.peak_units:
+            self.peak_units = units
+        if tracked_points > self.peak_points:
+            self.peak_points = tracked_points
+
+    @property
+    def peak_bytes(self) -> int:
+        return (self.peak_units * EVIDENCE_ENTRY_BYTES
+                + self.peak_points * POINT_STATE_BYTES)
+
+    @property
+    def peak_kb(self) -> float:
+        return self.peak_bytes / 1024.0

@@ -1,0 +1,25 @@
+"""Stream substrates: windows, buffers, sources, and data generators."""
+
+from .buffer import WindowBuffer
+from .source import ListSource, StreamSource, batches_by_boundary
+from .stock import StockTradeSimulator, TradeRecord, make_stock_points
+from .synthetic import SyntheticConfig, SyntheticStream, make_synthetic_points
+from .windows import COUNT, TIME, SwiftSchedule, WindowSpec, gcd_all
+
+__all__ = [
+    "COUNT",
+    "TIME",
+    "ListSource",
+    "StockTradeSimulator",
+    "StreamSource",
+    "SwiftSchedule",
+    "SyntheticConfig",
+    "SyntheticStream",
+    "TradeRecord",
+    "WindowBuffer",
+    "WindowSpec",
+    "batches_by_boundary",
+    "gcd_all",
+    "make_stock_points",
+    "make_synthetic_points",
+]

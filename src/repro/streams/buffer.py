@@ -1,0 +1,208 @@
+"""Window buffer: the live point population plus a vectorized view.
+
+All detectors keep the active window in a :class:`WindowBuffer`.  It stores
+the points in arrival order together with a numpy matrix of their attribute
+vectors, so distance scans can be computed blockwise (``metric.to_block``)
+instead of point-by-point.  Eviction from the front (window expiry) is O(1)
+amortized via an offset that is compacted once the dead prefix outgrows the
+live suffix.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.point import DistanceMetric, Point
+
+__all__ = ["WindowBuffer"]
+
+
+class WindowBuffer:
+    """Arrival-ordered point store with a numpy coordinate matrix.
+
+    Invariants:
+
+    * points are appended in strictly increasing ``seq`` order;
+    * ``times`` are non-decreasing;
+    * the live region is ``self._pts[self._start:]`` and its coordinates are
+      ``self._mat[self._start:self._len]``.
+    """
+
+    #: compact when the evicted prefix exceeds this many entries *and* the
+    #: live suffix (keeps eviction O(1) amortized without frequent copies).
+    _COMPACT_THRESHOLD = 4096
+
+    def __init__(self, metric: DistanceMetric, dim: Optional[int] = None):
+        self.metric = metric
+        self.dim = dim
+        self._pts: List[Point] = []
+        self._mat: Optional[np.ndarray] = None
+        self._len = 0  # rows of _mat in use (== len(_pts) before offsetting)
+        self._start = 0
+        # cached live-region list; rebuilt lazily after mutations so hot
+        # paths (K-SKY scans every point every boundary) avoid re-slicing
+        self._view: Optional[List[Point]] = None
+        #: total point-to-point distance evaluations served by this buffer
+        #: (the substrate-independent work metric; see repro.bench)
+        self.distance_rows: int = 0
+
+    # ------------------------------------------------------------------ size
+
+    def __len__(self) -> int:
+        return len(self._pts) - self._start
+
+    @property
+    def points(self) -> Sequence[Point]:
+        """Live points in arrival order (oldest first).
+
+        Returns a cached snapshot list; treat it as read-only.
+        """
+        if self._view is None:
+            self._view = (self._pts[self._start:] if self._start
+                          else self._pts)
+        return self._view
+
+    def __getitem__(self, i: int) -> Point:
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        return self._pts[self._start + i]
+
+    # --------------------------------------------------------------- mutation
+
+    def append(self, point: Point) -> None:
+        """Append one point (must arrive after every stored point)."""
+        self.extend((point,))
+
+    def extend(self, points: Iterable[Point]) -> None:
+        """Append a batch of points in arrival order."""
+        new = list(points)
+        if not new:
+            return
+        if self._pts and new[0].seq <= self._pts[-1].seq:
+            raise ValueError(
+                f"points must arrive in increasing seq order: got seq "
+                f"{new[0].seq} after {self._pts[-1].seq}"
+            )
+        if self.dim is None:
+            self.dim = new[0].dim
+        for p in new:
+            if p.dim != self.dim:
+                raise ValueError(
+                    f"point seq={p.seq} has dim {p.dim}, buffer expects {self.dim}"
+                )
+        rows = np.asarray([p.values for p in new], dtype=np.float64)
+        self._ensure_capacity(self._len + len(new))
+        self._mat[self._len : self._len + len(new)] = rows
+        self._len += len(new)
+        self._pts.extend(new)
+        self._view = None
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if self._mat is None:
+            cap = max(1024, needed)
+            self._mat = np.empty((cap, self.dim), dtype=np.float64)
+            return
+        if needed <= self._mat.shape[0]:
+            return
+        cap = self._mat.shape[0]
+        while cap < needed:
+            cap *= 2
+        grown = np.empty((cap, self.dim), dtype=np.float64)
+        grown[: self._len] = self._mat[: self._len]
+        self._mat = grown
+
+    def evict_before(self, start_pos: float, by_time: bool) -> List[Point]:
+        """Evict and return points with position < ``start_pos``.
+
+        ``by_time`` selects whether positions are ``time`` (time-based
+        windows) or ``seq`` (count-based windows).  Eviction only moves the
+        live-region offset; storage is compacted lazily.
+        """
+        i = self._start
+        n = len(self._pts)
+        if by_time:
+            while i < n and self._pts[i].time < start_pos:
+                i += 1
+        else:
+            while i < n and self._pts[i].seq < start_pos:
+                i += 1
+        evicted = self._pts[self._start : i]
+        self._start = i
+        self._view = None
+        self._maybe_compact()
+        return evicted
+
+    def _maybe_compact(self) -> None:
+        if self._start < self._COMPACT_THRESHOLD or self._start < len(self):
+            return
+        live = len(self._pts) - self._start
+        if self._mat is not None:
+            self._mat[:live] = self._mat[self._start : self._len]
+        self._pts = self._pts[self._start :]
+        self._len = live
+        self._start = 0
+        self._view = None
+
+    def clear(self) -> None:
+        """Drop everything (used when a detector is reset)."""
+        self._pts = []
+        self._len = 0
+        self._start = 0
+        self._view = None
+
+    # ---------------------------------------------------------------- lookup
+
+    def position_of_seq(self, seq: int) -> int:
+        """Index within the live region of the point with the given ``seq``.
+
+        Sequences are contiguous (streams never skip arrival numbers), so
+        this is O(1) arithmetic validated against the stored point.
+        """
+        if not len(self):
+            raise KeyError(seq)
+        base = self._pts[self._start].seq
+        i = seq - base
+        if not 0 <= i < len(self) or self._pts[self._start + i].seq != seq:
+            raise KeyError(seq)
+        return i
+
+    def first_index_at_or_after_time(self, t: float) -> int:
+        """Smallest live index whose point has ``time >= t`` (len if none)."""
+        times = [p.time for p in self.points]
+        return bisect_left(times, t)
+
+    # ------------------------------------------------------------- vectorized
+
+    def matrix(self) -> np.ndarray:
+        """Coordinate matrix of the live region (shared storage; do not write)."""
+        if self._mat is None:
+            return np.empty((0, self.dim or 0), dtype=np.float64)
+        return self._mat[self._start : self._len]
+
+    def distances_from(
+        self, values: Sequence[float], lo: int = 0, hi: Optional[int] = None
+    ) -> np.ndarray:
+        """Distances from ``values`` to live points ``[lo, hi)`` (live indexes)."""
+        block = self.matrix()
+        if hi is None:
+            hi = block.shape[0]
+        self.distance_rows += max(hi - lo, 0)
+        q = np.asarray(values, dtype=np.float64)
+        return self.metric.to_block(q, block[lo:hi])
+
+    def neighbor_count(
+        self, values: Sequence[float], radius: float, lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> int:
+        """Number of live points in ``[lo, hi)`` within ``radius`` of ``values``.
+
+        Note: if the query vector itself is stored inside the range, it is
+        counted too (distance 0); callers subtract the self-match.
+        """
+        d = self.distances_from(values, lo, hi)
+        return int((d <= radius).sum())

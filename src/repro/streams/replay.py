@@ -1,0 +1,173 @@
+"""Stream and result persistence: CSV / JSON-lines round-trips.
+
+Real deployments rarely hold streams in memory: they replay recorded
+traces and archive detection results.  This module provides the IO layer:
+
+* :func:`save_points_csv` / :func:`load_points_csv` -- point streams with
+  ``seq,time,v0..vN`` columns;
+* :func:`save_trades_csv` / :func:`load_trades_csv` -- the STT schema
+  (``name,transId,time,volume,price,type``) used by the stock simulator;
+* :func:`save_results_jsonl` / :func:`load_results_jsonl` -- one JSON
+  object per (query, boundary) output, preserving the exact outlier sets
+  so archived runs can be diffed with
+  :func:`repro.metrics.results.compare_outputs`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple, Union
+
+from ..core.point import Point
+from ..metrics.results import OutputKey
+from .stock import TradeRecord
+
+__all__ = [
+    "load_points_csv",
+    "save_points_csv",
+    "load_trades_csv",
+    "save_trades_csv",
+    "load_results_jsonl",
+    "save_results_jsonl",
+]
+
+PathLike = Union[str, Path]
+
+
+# ------------------------------------------------------------------ points
+
+def save_points_csv(points: Sequence[Point], path: PathLike) -> int:
+    """Write a point stream; returns the number of rows written."""
+    points = list(points)
+    if not points:
+        raise ValueError("cannot save an empty stream")
+    dim = points[0].dim
+    header = ["seq", "time"] + [f"v{i}" for i in range(dim)]
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for p in points:
+            if p.dim != dim:
+                raise ValueError(
+                    f"point seq={p.seq} has dim {p.dim}, stream has {dim}"
+                )
+            writer.writerow([p.seq, repr(p.time)] + [repr(v) for v in p.values])
+    return len(points)
+
+
+def load_points_csv(path: PathLike) -> Tuple[Point, ...]:
+    """Read a point stream written by :func:`save_points_csv`.
+
+    Also accepts externally-produced files: any CSV whose header starts
+    with ``seq,time`` followed by one column per attribute.
+    """
+    out: List[Point] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or header[:2] != ["seq", "time"]:
+            raise ValueError(
+                f"{path}: expected header starting with 'seq,time', got {header}"
+            )
+        n_attrs = len(header) - 2
+        if n_attrs < 1:
+            raise ValueError(f"{path}: no attribute columns")
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2 + n_attrs:
+                raise ValueError(
+                    f"{path}:{lineno}: expected {2 + n_attrs} columns, "
+                    f"got {len(row)}"
+                )
+            out.append(Point(
+                seq=int(row[0]),
+                time=float(row[1]),
+                values=tuple(float(v) for v in row[2:]),
+            ))
+    for earlier, later in zip(out, out[1:]):
+        if later.seq <= earlier.seq:
+            raise ValueError(f"{path}: seq values must strictly increase")
+    return tuple(out)
+
+
+# ------------------------------------------------------------------ trades
+
+_TRADE_HEADER = ["name", "transId", "time", "volume", "price", "type",
+                 "isAnomaly"]
+
+
+def save_trades_csv(records: Iterable[TradeRecord], path: PathLike) -> int:
+    """Write trade records in the paper's STT schema."""
+    n = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_TRADE_HEADER)
+        for rec in records:
+            writer.writerow([
+                rec.name, rec.trans_id, repr(rec.time), repr(rec.volume),
+                repr(rec.price), rec.type, int(rec.is_anomaly),
+            ])
+            n += 1
+    if n == 0:
+        raise ValueError("cannot save an empty trade trace")
+    return n
+
+
+def load_trades_csv(path: PathLike) -> Tuple[TradeRecord, ...]:
+    """Read trade records written by :func:`save_trades_csv`."""
+    out: List[TradeRecord] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _TRADE_HEADER:
+            raise ValueError(f"{path}: unexpected header {header}")
+        for row in reader:
+            if not row:
+                continue
+            out.append(TradeRecord(
+                name=row[0],
+                trans_id=int(row[1]),
+                time=float(row[2]),
+                volume=float(row[3]),
+                price=float(row[4]),
+                type=row[5],
+                is_anomaly=bool(int(row[6])),
+            ))
+    return tuple(out)
+
+
+# ------------------------------------------------------------------ results
+
+def save_results_jsonl(
+    outputs: Dict[OutputKey, FrozenSet[int]], path: PathLike
+) -> int:
+    """Archive detector outputs, one JSON object per (query, boundary)."""
+    with open(path, "w") as fh:
+        for (qi, t) in sorted(outputs):
+            fh.write(json.dumps({
+                "query": qi,
+                "boundary": t,
+                "outliers": sorted(outputs[(qi, t)]),
+            }))
+            fh.write("\n")
+    return len(outputs)
+
+
+def load_results_jsonl(path: PathLike) -> Dict[OutputKey, FrozenSet[int]]:
+    """Load outputs archived by :func:`save_results_jsonl`."""
+    out: Dict[OutputKey, FrozenSet[int]] = {}
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                key = (int(obj["query"]), int(obj["boundary"]))
+                out[key] = frozenset(int(s) for s in obj["outliers"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed record") from exc
+    return out

@@ -1,0 +1,96 @@
+"""Stream source abstractions and boundary-aligned batching.
+
+Detectors consume a stream as a sequence of *(boundary, batch)* pairs: all
+points whose stream position falls in ``[t - slide, t)`` are delivered
+together, then the detector processes boundary ``t``.  This mirrors the
+paper's execution model ("the K-SKY algorithm is called after we receive a
+batch of new points based on the slide size", Sec. 3.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..core.point import Point
+from .windows import COUNT, TIME
+
+__all__ = ["StreamSource", "ListSource", "batches_by_boundary", "positions"]
+
+
+def positions(points: Iterable[Point], kind: str) -> List[float]:
+    """Stream positions of points for the given window kind."""
+    if kind == COUNT:
+        return [float(p.seq) for p in points]
+    if kind == TIME:
+        return [p.time for p in points]
+    raise ValueError(f"unknown window kind {kind!r}")
+
+
+class StreamSource:
+    """Base class for finite or infinite point sources.
+
+    Subclasses implement ``__iter__``; the base class provides ``take`` and
+    list materialization helpers used by benchmarks and examples.
+    """
+
+    def __iter__(self) -> Iterator[Point]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def take(self, n: int) -> Tuple[Point, ...]:
+        """Materialize the first ``n`` points."""
+        out: List[Point] = []
+        for p in self:
+            out.append(p)
+            if len(out) >= n:
+                break
+        return tuple(out)
+
+
+class ListSource(StreamSource):
+    """A source wrapping a pre-materialized point sequence."""
+
+    def __init__(self, points: Sequence[Point]):
+        self._points = tuple(points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+def batches_by_boundary(
+    points: Sequence[Point], slide: int, kind: str, until: int = None
+) -> Iterator[Tuple[int, List[Point]]]:
+    """Group a finite stream into per-boundary batches.
+
+    Yields ``(t, batch)`` for each boundary ``t = slide, 2*slide, ...`` where
+    ``batch`` holds the points with position in ``[t - slide, t)``.  The
+    iteration stops at ``until`` if given, else at the last boundary that is
+    <= the final point's position + slide (so every point is delivered).
+
+    Points must be position-sorted (guaranteed for ``seq``; validated for
+    ``time``).
+    """
+    if slide <= 0:
+        raise ValueError("slide must be positive")
+    pos = positions(points, kind)
+    for earlier, later in zip(pos, pos[1:]):
+        if later < earlier:
+            raise ValueError("stream positions must be non-decreasing")
+    if until is None:
+        if not points:
+            return
+        last = pos[-1]
+        # smallest multiple of slide strictly greater than the last position
+        until = (int(last) // slide + 1) * slide
+    i = 0
+    t = slide
+    n = len(points)
+    while t <= until:
+        batch: List[Point] = []
+        while i < n and pos[i] < t:
+            batch.append(points[i])
+            i += 1
+        yield t, batch
+        t += slide

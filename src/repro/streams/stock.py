@@ -1,0 +1,197 @@
+"""Simulated Stock Trading Traces (STT) stream.
+
+The paper evaluates the window-parameter experiments (Figs. 11, 12) on the
+INETATS Stock Trade Traces [11]: one million transaction records over one
+trading day, each with the schema ``name, transId, time, volume, price,
+type``.  That dataset is proprietary and the distribution site is defunct,
+so per the reproduction rules we *simulate* it.
+
+:class:`StockTradeSimulator` generates a trading day that preserves the
+properties the experiments depend on:
+
+* a fixed universe of tickers, each following a regime-switching geometric
+  random walk (calm / volatile regimes), so the stream is non-stationary
+  and window size genuinely changes which behaviour counts as "recent";
+* heavy-tailed (lognormal) trade volumes;
+* U-shaped intraday intensity (busy open/close) so count- and time-based
+  windows cover different wall-clock spans;
+* injected anomalies -- fat-finger prints (price far off the walk) and
+  block trades (extreme volume) -- the "unusual transactions" the paper's
+  fraud-monitoring motivation describes.
+
+``points()`` projects each trade to the numeric attribute vector used by
+the outlier queries (default: price and log-volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import math
+
+import numpy as np
+
+from ..core.point import Point
+from .source import StreamSource
+
+__all__ = ["TradeRecord", "StockTradeSimulator", "make_stock_points"]
+
+_TICKERS = (
+    "AAPL", "MSFT", "IBM", "ORCL", "INTC", "CSCO", "HPQ", "DELL", "EMC",
+    "TXN", "QCOM", "ADBE", "EBAY", "AMZN", "YHOO", "GOOG",
+)
+
+_TRADE_TYPES = ("BUY", "SELL")
+
+#: one trading day, 09:30-16:00, in seconds
+_DAY_SECONDS = 6.5 * 3600
+
+
+@dataclass(frozen=True)
+class TradeRecord:
+    """One simulated transaction in the STT schema."""
+
+    name: str
+    trans_id: int
+    time: float
+    volume: float
+    price: float
+    type: str
+    is_anomaly: bool = False
+
+
+class StockTradeSimulator(StreamSource):
+    """Synthetic one-day stock trading trace with injected anomalies."""
+
+    def __init__(
+        self,
+        n_trades: int = 100_000,
+        n_tickers: int = 8,
+        anomaly_rate: float = 0.01,
+        base_price_range: Tuple[float, float] = (20.0, 400.0),
+        seed: int = 11,
+    ) -> None:
+        if n_tickers < 1 or n_tickers > len(_TICKERS):
+            raise ValueError(f"n_tickers must be in [1, {len(_TICKERS)}]")
+        if not 0.0 <= anomaly_rate < 0.5:
+            raise ValueError("anomaly_rate must be in [0, 0.5)")
+        if n_trades < 1:
+            raise ValueError("n_trades must be >= 1")
+        self.n_trades = n_trades
+        self.n_tickers = n_tickers
+        self.anomaly_rate = anomaly_rate
+        self.base_price_range = base_price_range
+        self.seed = seed
+
+    # ------------------------------------------------------------ generation
+
+    def records(self) -> Iterator[TradeRecord]:
+        """Yield the full trading day as :class:`TradeRecord` objects."""
+        rng = np.random.default_rng(self.seed)
+        tickers = _TICKERS[: self.n_tickers]
+        lo, hi = self.base_price_range
+        prices = rng.uniform(lo, hi, size=self.n_tickers)
+        # regime 0 = calm, regime 1 = volatile; per-ticker state
+        vol_by_regime = (0.0004, 0.0025)
+        regimes = rng.integers(0, 2, size=self.n_tickers)
+
+        times = self._arrival_times(rng)
+        anomalies = set(
+            rng.choice(self.n_trades,
+                       size=int(round(self.n_trades * self.anomaly_rate)),
+                       replace=False)
+        ) if self.anomaly_rate else set()
+
+        for i in range(self.n_trades):
+            tix = int(rng.integers(0, self.n_tickers))
+            # regime switching: rare flips keep volatility bursty
+            if rng.random() < 0.002:
+                regimes[tix] = 1 - regimes[tix]
+            sigma = vol_by_regime[regimes[tix]]
+            prices[tix] *= math.exp(rng.normal(0.0, sigma))
+            price = float(prices[tix])
+            volume = float(np.round(np.exp(rng.normal(5.5, 1.0))))
+
+            is_anomaly = i in anomalies
+            if is_anomaly:
+                if rng.random() < 0.5:
+                    # fat-finger print: price 5-25% off the walk
+                    price *= float(1.0 + rng.choice((-1, 1)) * rng.uniform(0.05, 0.25))
+                else:
+                    # block trade: volume 30-300x typical
+                    volume *= float(rng.uniform(30.0, 300.0))
+
+            yield TradeRecord(
+                name=tickers[tix],
+                trans_id=i,
+                time=float(times[i]),
+                volume=max(1.0, volume),
+                price=max(0.01, price),
+                type=_TRADE_TYPES[int(rng.integers(0, 2))],
+                is_anomaly=is_anomaly,
+            )
+
+    def _arrival_times(self, rng: np.random.Generator) -> np.ndarray:
+        """U-shaped intraday arrival times over one trading day, sorted."""
+        n = self.n_trades
+        # mixture: 35% open hour, 35% close hour, 30% uniform midday
+        u = rng.random(n)
+        t = np.empty(n)
+        open_mask = u < 0.35
+        close_mask = u >= 0.65
+        mid_mask = ~(open_mask | close_mask)
+        t[open_mask] = rng.uniform(0, 0.15 * _DAY_SECONDS, size=open_mask.sum())
+        t[close_mask] = rng.uniform(0.85 * _DAY_SECONDS, _DAY_SECONDS,
+                                    size=close_mask.sum())
+        t[mid_mask] = rng.uniform(0.15 * _DAY_SECONDS, 0.85 * _DAY_SECONDS,
+                                  size=mid_mask.sum())
+        t.sort()
+        return t
+
+    # ------------------------------------------------------------ projection
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points())
+
+    def points(
+        self, attributes: Sequence[str] = ("price", "log_volume")
+    ) -> Tuple[Point, ...]:
+        """Project trades onto numeric attribute vectors as stream points.
+
+        Supported attributes: ``price``, ``volume``, ``log_volume``,
+        ``time_of_day`` (seconds since the open).  ``seq`` is the transaction
+        id and ``time`` the trade timestamp, so both count- and time-based
+        windows apply.
+        """
+        supported = {"price", "volume", "log_volume", "time_of_day"}
+        unknown = set(attributes) - supported
+        if unknown:
+            raise ValueError(
+                f"unknown attributes {sorted(unknown)}; supported: {sorted(supported)}"
+            )
+        pts: List[Point] = []
+        for rec in self.records():
+            row = []
+            for a in attributes:
+                if a == "price":
+                    row.append(rec.price)
+                elif a == "volume":
+                    row.append(rec.volume)
+                elif a == "log_volume":
+                    row.append(math.log1p(rec.volume))
+                else:
+                    row.append(rec.time)
+            pts.append(Point(seq=rec.trans_id, values=tuple(row), time=rec.time))
+        return tuple(pts)
+
+
+def make_stock_points(
+    n: int, n_tickers: int = 8, anomaly_rate: float = 0.01, seed: int = 11,
+    attributes: Sequence[str] = ("price", "log_volume"),
+) -> Tuple[Point, ...]:
+    """Convenience: ``n`` simulated STT trades projected to points."""
+    sim = StockTradeSimulator(
+        n_trades=n, n_tickers=n_tickers, anomaly_rate=anomaly_rate, seed=seed
+    )
+    return sim.points(attributes)

@@ -1,0 +1,153 @@
+"""Periodic sliding-window semantics (CQL-style) and schedule arithmetic.
+
+The paper (Sec. 2) adopts the periodic sliding windows of CQL [3]: each
+query ``q`` has a window size ``q.win`` and a slide ``q.slide``, both either
+in *counts* (number of tuples) or in *time* units.  We use the convention:
+
+* query ``q`` produces output at every stream position ``t = i * q.slide``
+  for ``i >= 1`` -- ``t`` measured in arrival counts (count-based) or time
+  units (time-based);
+* the window evaluated at boundary ``t`` covers ``[max(0, t - q.win), t)``,
+  i.e. a point ``p`` is in the population iff ``t - q.win <= pos(p) < t``
+  where ``pos`` is ``seq`` (count-based) or ``time`` (time-based).
+
+Windows during stream warm-up (before ``q.win`` positions have passed) are
+*partial*; all detectors in this package evaluate them identically, so
+cross-detector equivalence holds from the first boundary.
+
+The swift-query construction of Sec. 4.2/4.3 lives here too:
+``SwiftSchedule`` derives the single schedule (``slide = gcd`` of all
+slides, ``win = max`` of all window sizes) that subsumes every member
+query, and answers "which queries are due at boundary ``t``?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["COUNT", "TIME", "WindowSpec", "SwiftSchedule", "gcd_all"]
+
+COUNT = "count"
+TIME = "time"
+_KINDS = (COUNT, TIME)
+
+
+def gcd_all(values: Iterable[int]) -> int:
+    """Greatest common divisor of a non-empty iterable of positive ints."""
+    result = 0
+    seen = False
+    for v in values:
+        seen = True
+        result = math.gcd(result, int(v))
+    if not seen:
+        raise ValueError("gcd_all requires at least one value")
+    return result
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Window-specific parameters ``(win, slide)`` of one query.
+
+    ``win`` and ``slide`` are positive integers in the unit selected by
+    ``kind`` (tuple counts or integral time units).  Integral units keep the
+    boundary arithmetic (multiples, gcd) exact, matching the paper's
+    greatest-common-divisor swift-query construction.
+    """
+
+    win: int
+    slide: int
+    kind: str = COUNT
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"window kind must be one of {_KINDS}, got {self.kind!r}")
+        if not isinstance(self.win, int) or isinstance(self.win, bool):
+            raise TypeError(f"win must be an int, got {type(self.win).__name__}")
+        if not isinstance(self.slide, int) or isinstance(self.slide, bool):
+            raise TypeError(f"slide must be an int, got {type(self.slide).__name__}")
+        if self.win <= 0:
+            raise ValueError(f"win must be positive, got {self.win}")
+        if self.slide <= 0:
+            raise ValueError(f"slide must be positive, got {self.slide}")
+        if self.slide > self.win:
+            raise ValueError(
+                f"slide ({self.slide}) larger than win ({self.win}) would skip "
+                "tuples between consecutive windows; the paper's workloads keep "
+                "slide <= win"
+            )
+
+    def due_at(self, t: int) -> bool:
+        """True iff this query produces output at boundary ``t``."""
+        return t >= self.slide and t % self.slide == 0
+
+    def interval_at(self, t: int) -> Tuple[int, int]:
+        """Half-open population interval ``[start, end)`` at boundary ``t``."""
+        return (max(0, t - self.win), t)
+
+    def boundaries(self, until: int) -> Iterator[int]:
+        """All output boundaries ``t <= until`` in increasing order."""
+        t = self.slide
+        while t <= until:
+            yield t
+            t += self.slide
+
+    def contains(self, pos: float, t: int) -> bool:
+        """True iff a point at stream position ``pos`` is in the window at ``t``."""
+        start, end = self.interval_at(t)
+        return start <= pos < end
+
+
+class SwiftSchedule:
+    """The single swift schedule subsuming a set of window specifications.
+
+    Per Sec. 4.3 / Sec. 5 of the paper, a group of queries with arbitrary
+    ``win`` and ``slide`` is supported by one *swift query* whose window is
+    the largest member window and whose slide is the greatest common divisor
+    of the member slides.  Every member boundary is then a swift boundary,
+    and every member window is a suffix of the swift window.
+    """
+
+    def __init__(self, specs: Sequence[WindowSpec]):
+        if not specs:
+            raise ValueError("SwiftSchedule requires at least one WindowSpec")
+        kinds = {s.kind for s in specs}
+        if len(kinds) != 1:
+            raise ValueError(
+                f"all windows in one group must share a kind, got {sorted(kinds)}"
+            )
+        self.kind: str = specs[0].kind
+        self.specs: Tuple[WindowSpec, ...] = tuple(specs)
+        self.win: int = max(s.win for s in specs)
+        self.slide: int = gcd_all(s.slide for s in specs)
+        self.spec = WindowSpec(win=self.win, slide=self.slide, kind=self.kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SwiftSchedule(kind={self.kind!r}, win={self.win}, "
+            f"slide={self.slide}, members={len(self.specs)})"
+        )
+
+    def due_at(self, t: int) -> bool:
+        """True iff the swift query itself fires at ``t``."""
+        return self.spec.due_at(t)
+
+    def due_members(self, t: int) -> List[int]:
+        """Indexes (into the constructor sequence) of member specs due at ``t``."""
+        return [i for i, s in enumerate(self.specs) if s.due_at(t)]
+
+    def boundaries(self, until: int) -> Iterator[int]:
+        """All swift boundaries up to and including ``until``."""
+        return self.spec.boundaries(until)
+
+    def member_boundaries(self, until: int) -> Iterator[Tuple[int, List[int]]]:
+        """Swift boundaries paired with the member queries due at each.
+
+        Boundaries where no member is due are still yielded (with an empty
+        list): the swift query keeps sliding to refresh evidence and discover
+        safe inliers early (Sec. 4.2, "q_sft is potentially scheduled more
+        frequently than any query in Q").
+        """
+        for t in self.boundaries(until):
+            yield t, self.due_members(t)

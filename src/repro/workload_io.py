@@ -1,0 +1,87 @@
+"""Workload specification files (JSON) for the CLI and deployments.
+
+Format::
+
+    {
+      "kind": "count",              // or "time" -- shared by all queries
+      "queries": [
+        {"r": 300.0, "k": 4, "win": 500, "slide": 100,
+         "name": "tight", "attributes": [0, 1]},   // name/attributes optional
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from .core.queries import OutlierQuery
+from .streams.windows import COUNT, TIME, WindowSpec
+
+__all__ = ["load_workload", "save_workload"]
+
+PathLike = Union[str, Path]
+
+
+def save_workload(queries: Sequence[OutlierQuery], path: PathLike) -> int:
+    """Write a workload spec; returns the number of queries written."""
+    queries = list(queries)
+    if not queries:
+        raise ValueError("cannot save an empty workload")
+    kinds = {q.kind for q in queries}
+    if len(kinds) != 1:
+        raise ValueError(f"queries must share a window kind, got {sorted(kinds)}")
+    doc = {
+        "kind": queries[0].kind,
+        "queries": [
+            {
+                "r": q.r,
+                "k": q.k,
+                "win": q.win,
+                "slide": q.slide,
+                "name": q.name,
+                **({"attributes": list(q.attributes)}
+                   if q.attributes is not None else {}),
+            }
+            for q in queries
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return len(queries)
+
+
+def load_workload(path: PathLike) -> List[OutlierQuery]:
+    """Read a workload spec written by :func:`save_workload` (or by hand)."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "queries" not in doc:
+        raise ValueError(f"{path}: expected an object with a 'queries' list")
+    kind = doc.get("kind", COUNT)
+    if kind not in (COUNT, TIME):
+        raise ValueError(f"{path}: kind must be 'count' or 'time', got {kind!r}")
+    entries = doc["queries"]
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: 'queries' must be a non-empty list")
+    queries: List[OutlierQuery] = []
+    for i, entry in enumerate(entries):
+        try:
+            queries.append(OutlierQuery(
+                r=float(entry["r"]),
+                k=int(entry["k"]),
+                window=WindowSpec(win=int(entry["win"]),
+                                  slide=int(entry["slide"]), kind=kind),
+                name=str(entry.get("name", "")),
+                attributes=(tuple(entry["attributes"])
+                            if "attributes" in entry else None),
+            ))
+        except KeyError as exc:
+            raise ValueError(
+                f"{path}: query #{i} is missing field {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: query #{i} invalid: {exc}") from exc
+    return queries

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    NaiveDetector,
+    OutlierQuery,
+    Point,
+    QueryGroup,
+    WindowSpec,
+    compare_outputs,
+    make_synthetic_points,
+)
+
+
+def line_points(values, start_seq=0, times=None):
+    """1-D points from a list of scalars (controlled-distance streams)."""
+    if times is None:
+        return [
+            Point(seq=start_seq + i, values=(float(v),))
+            for i, v in enumerate(values)
+        ]
+    return [
+        Point(seq=start_seq + i, values=(float(v),), time=float(t))
+        for i, (v, t) in enumerate(zip(values, times))
+    ]
+
+
+def assert_equivalent(group: QueryGroup, points, detector, oracle_cls=NaiveDetector):
+    """Run ``detector`` and the naive oracle; assert identical outputs."""
+    expected = oracle_cls(group).run(points)
+    actual = detector.run(points)
+    diffs = compare_outputs(expected.outputs, actual.outputs)
+    assert not diffs, "\n".join(diffs)
+    return actual
+
+
+@pytest.fixture
+def small_stream():
+    """1200 synthetic points with a visible outlier rate."""
+    return make_synthetic_points(1200, dim=2, outlier_rate=0.05, seed=3)
+
+
+@pytest.fixture
+def small_group():
+    """A mixed workload touching all four parameters."""
+    return QueryGroup([
+        OutlierQuery(r=300, k=4, window=WindowSpec(win=200, slide=50)),
+        OutlierQuery(r=700, k=9, window=WindowSpec(win=400, slide=100)),
+        OutlierQuery(r=1500, k=6, window=WindowSpec(win=300, slide=75)),
+        OutlierQuery(r=300, k=9, window=WindowSpec(win=150, slide=50)),
+    ])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20160626)  # SIGMOD'16 opening day

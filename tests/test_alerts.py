@@ -1,0 +1,124 @@
+"""Unit tests for alert routing and sinks."""
+
+import pytest
+
+from repro import (
+    Alert,
+    AlertRouter,
+    CallbackSink,
+    CollectingSink,
+    CountingSink,
+    OutlierQuery,
+    QueryGroup,
+    SOPDetector,
+    WindowSpec,
+    run_with_alerts,
+)
+
+from conftest import line_points
+
+
+def group():
+    return QueryGroup([
+        OutlierQuery(r=1.0, k=2, window=WindowSpec(win=20, slide=10),
+                     name="q0"),
+        OutlierQuery(r=5.0, k=2, window=WindowSpec(win=20, slide=10),
+                     name="q1"),
+    ])
+
+
+class TestSinks:
+    def test_collecting_sink_orders(self):
+        sink = CollectingSink()
+        router = AlertRouter(group(), [sink], dedupe="all")
+        router.dispatch(10, {0: frozenset({5, 3}), 1: frozenset({3})})
+        assert [(a.query_index, a.seq) for a in sink.alerts] == \
+            [(0, 3), (0, 5), (1, 3)]
+        assert sink.by_query()[0][0].query_name == "q0"
+
+    def test_callback_sink(self):
+        seen = []
+        router = AlertRouter(group(), [CallbackSink(seen.append)],
+                             dedupe="all")
+        router.dispatch(10, {0: frozenset({1})})
+        assert seen[0].seq == 1 and seen[0].boundary == 10
+
+    def test_callback_requires_callable(self):
+        with pytest.raises(TypeError):
+            CallbackSink("not callable")
+
+    def test_counting_sink(self):
+        sink = CountingSink()
+        router = AlertRouter(group(), [sink], dedupe="all")
+        router.dispatch(10, {0: frozenset({1, 2}), 1: frozenset({1})})
+        router.dispatch(20, {0: frozenset({2})})
+        assert sink.total == 4
+        assert sink.per_query == {0: 3, 1: 1}
+        # seq 2 at t=20 was already an outlier at t=10: not first_seen
+        assert sink.first_seen == 3
+
+
+class TestDedupeModes:
+    def _alerts(self, dedupe, frames):
+        sink = CollectingSink()
+        router = AlertRouter(group(), [sink], dedupe=dedupe)
+        for t, out in frames:
+            router.dispatch(t, out)
+        return [(a.boundary, a.seq) for a in sink.alerts
+                if a.query_index == 0]
+
+    FRAMES = [
+        (10, {0: frozenset({1})}),
+        (20, {0: frozenset({1, 2})}),
+        (30, {0: frozenset({2})}),     # 1 recovers
+        (40, {0: frozenset({1, 2})}),  # 1 relapses
+    ]
+
+    def test_all_mode(self):
+        assert self._alerts("all", self.FRAMES) == [
+            (10, 1), (20, 1), (20, 2), (30, 2), (40, 1), (40, 2)]
+
+    def test_transitions_mode(self):
+        assert self._alerts("transitions", self.FRAMES) == [
+            (10, 1), (20, 2), (40, 1)]
+
+    def test_first_mode_with_recovery_reset(self):
+        # point 1 re-alerts at 40 because it recovered at 30
+        assert self._alerts("first", self.FRAMES) == [
+            (10, 1), (20, 2), (40, 1)]
+
+    def test_first_mode_without_recovery_reset(self):
+        sink = CollectingSink()
+        router = AlertRouter(group(), [sink], dedupe="first",
+                             reset_on_recovery=False)
+        for t, out in self.FRAMES:
+            router.dispatch(t, out)
+        assert [(a.boundary, a.seq) for a in sink.alerts
+                if a.query_index == 0] == [(10, 1), (20, 2)]
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            AlertRouter(group(), [], dedupe="sometimes")
+
+    def test_dispatch_returns_emitted_count(self):
+        router = AlertRouter(group(), [], dedupe="all")
+        assert router.dispatch(10, {0: frozenset({1, 2})}) == 2
+
+
+class TestRunWithAlerts:
+    def test_end_to_end(self):
+        # an isolated value appears mid-stream
+        values = [0.0] * 25 + [50.0] + [0.0] * 14
+        sink = CollectingSink()
+        detector = SOPDetector(group())
+        result = run_with_alerts(detector, line_points(values), [sink])
+        assert result.boundaries == 4
+        flagged = {a.seq for a in sink.alerts}
+        assert 25 in flagged
+
+    def test_outputs_match_plain_run(self, small_stream, small_group):
+        from repro import compare_outputs
+        plain = SOPDetector(small_group).run(small_stream)
+        routed = run_with_alerts(SOPDetector(small_group), small_stream,
+                                 [CountingSink()])
+        assert not compare_outputs(plain.outputs, routed.outputs)

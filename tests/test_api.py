@@ -1,0 +1,100 @@
+"""Unit tests for the one-shot convenience API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    NaiveDetector,
+    OutlierQuery,
+    QueryGroup,
+    WindowSpec,
+    compare_outputs,
+    detect_outliers,
+    outlier_flags,
+    points_from_array,
+)
+
+
+def rows_with_spike(n=120, spike_at=60):
+    rng = np.random.default_rng(2)
+    rows = rng.normal(0.0, 0.2, size=(n, 2))
+    rows[spike_at] = (25.0, 25.0)
+    return rows
+
+
+class TestDetectOutliers:
+    def test_tuple_queries(self):
+        rows = rows_with_spike()
+        result = detect_outliers(rows, [(1.0, 3, 40, 20)])
+        flagged = set()
+        for seqs in result.outputs.values():
+            flagged |= seqs
+        assert 60 in flagged
+
+    def test_matches_explicit_pipeline(self):
+        rows = rows_with_spike()
+        result = detect_outliers(rows, [(1.0, 3, 40, 20), (5.0, 2, 60, 20)])
+        group = QueryGroup([
+            OutlierQuery(r=1.0, k=3, window=WindowSpec(win=40, slide=20)),
+            OutlierQuery(r=5.0, k=2, window=WindowSpec(win=60, slide=20)),
+        ])
+        expected = NaiveDetector(group).run(points_from_array(rows))
+        assert not compare_outputs(expected.outputs, result.outputs)
+
+    def test_mixed_query_specs(self):
+        rows = rows_with_spike()
+        explicit = OutlierQuery(r=1.0, k=3,
+                                window=WindowSpec(win=40, slide=20))
+        result = detect_outliers(rows, [explicit, (5.0, 2, 40, 20)])
+        assert len({qi for qi, _ in result.outputs}) == 2
+
+    def test_accepts_points(self):
+        pts = points_from_array(rows_with_spike())
+        result = detect_outliers(pts, [(1.0, 3, 40, 20)])
+        assert result.boundaries > 0
+
+    def test_time_based(self):
+        rows = [[0.0], [0.1], [9.0], [0.2]]
+        times = [1.0, 2.0, 5.0, 11.0]
+        result = detect_outliers(rows, [(1.0, 1, 8, 4)], times=times,
+                                 kind="time")
+        assert 2 in result.outputs[(0, 8)]
+
+    def test_metric_selection(self):
+        # cross-group distance: euclidean sqrt(2) > 1.2, chebyshev 1.0 < 1.2
+        # with k=15 a point needs the other group as neighbors, so the
+        # metric flips every verdict
+        rows = [[0.0, 0.0], [1.0, 1.0]] * 10
+        cheby = detect_outliers(rows, [(1.2, 15, 20, 20)],
+                                metric="chebyshev")
+        euclid = detect_outliers(rows, [(1.2, 15, 20, 20)],
+                                 metric="euclidean")
+        assert cheby.outputs[(0, 20)] == frozenset()
+        assert len(euclid.outputs[(0, 20)]) == 20
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(ValueError, match="at least one query"):
+            detect_outliers(rows_with_spike(), [])
+
+    def test_bad_query_spec_rejected(self):
+        with pytest.raises(TypeError, match="OutlierQuery or an"):
+            detect_outliers(rows_with_spike(), [(1.0, 3)])
+
+    def test_until(self):
+        result = detect_outliers(rows_with_spike(), [(1.0, 3, 40, 20)],
+                                 until=40)
+        assert max(t for _, t in result.outputs) == 40
+
+
+class TestOutlierFlags:
+    def test_mask_aligned_with_rows(self):
+        rows = rows_with_spike()
+        mask = outlier_flags(rows, r=1.0, k=3, win=40, slide=20)
+        assert mask.shape == (len(rows),)
+        assert mask[60]
+        assert mask.sum() < len(rows) / 4
+
+    def test_dense_data_all_clear(self):
+        rows = [[0.0]] * 60
+        mask = outlier_flags(rows, r=1.0, k=2, win=20, slide=10)
+        assert not mask.any()

@@ -1,0 +1,89 @@
+"""Tests for the shared detector driver and work accounting."""
+
+import pytest
+
+from repro import (
+    LEAPDetector,
+    MCODDetector,
+    NaiveDetector,
+    OutlierQuery,
+    QueryGroup,
+    SOPDetector,
+    WindowSpec,
+)
+
+from conftest import line_points
+
+
+def group(kind="count"):
+    return QueryGroup([
+        OutlierQuery(r=1.0, k=2, window=WindowSpec(win=20, slide=10,
+                                                   kind=kind)),
+        OutlierQuery(r=3.0, k=3, window=WindowSpec(win=40, slide=20,
+                                                   kind=kind)),
+    ])
+
+
+class TestPosition:
+    def test_count_position_is_seq(self):
+        det = SOPDetector(group())
+        p = line_points([5.0], times=[0.25])[0]
+        assert det.position(p) == 0.0
+
+    def test_time_position_is_time(self):
+        det = SOPDetector(group(kind="time"))
+        p = line_points([5.0], times=[0.25])[0]
+        assert det.position(p) == 0.25
+
+
+class TestRunDriver:
+    def test_boundaries_follow_swift_slide(self):
+        det = SOPDetector(group())
+        res = det.run(line_points([0.0] * 60))
+        # swift slide = gcd(10, 20) = 10; stream of 60 -> boundaries 10..60
+        assert res.boundaries == 6
+
+    def test_outputs_only_on_due_boundaries(self):
+        res = SOPDetector(group()).run(line_points([0.0] * 60))
+        assert (0, 10) in res.outputs
+        assert (1, 10) not in res.outputs
+        assert (1, 20) in res.outputs
+
+    def test_memory_sampled_each_boundary(self):
+        det = MCODDetector(group())
+        res = det.run(line_points([0.0] * 60))
+        assert res.memory.peak_units >= res.memory.last_units >= 0
+
+
+class TestWorkStats:
+    @pytest.mark.parametrize("cls", [SOPDetector, MCODDetector,
+                                     LEAPDetector, NaiveDetector])
+    def test_distance_rows_counted(self, cls, small_stream, small_group):
+        res = cls(small_group).run(small_stream)
+        assert res.work["distance_rows"] > 0
+
+    def test_naive_counts_quadratic_work(self):
+        g = QueryGroup([OutlierQuery(r=1.0, k=1,
+                                     window=WindowSpec(win=20, slide=20))])
+        det = NaiveDetector(g)
+        det.run(line_points([0.0] * 40))
+        # two boundaries, each a 20-point population -> 2 * 400
+        assert det.work_stats()["distance_rows"] == 800
+
+    def test_sop_does_less_distance_work_than_leap(self, small_stream,
+                                                   small_group):
+        sop = SOPDetector(small_group).run(small_stream)
+        leap = LEAPDetector(small_group).run(small_stream)
+        assert sop.work["distance_rows"] < leap.work["distance_rows"]
+
+    def test_multiattr_sums_partitions(self, small_stream):
+        from repro import MultiAttributeSOP
+        queries = [
+            OutlierQuery(r=300.0, k=3, window=WindowSpec(win=100, slide=50),
+                         attributes=(0,)),
+            OutlierQuery(r=300.0, k=3, window=WindowSpec(win=100, slide=50),
+                         attributes=(1,)),
+        ]
+        det = MultiAttributeSOP(queries)
+        det.run(small_stream)
+        assert det.work_stats()["distance_rows"] > 0

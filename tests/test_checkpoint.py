@@ -1,0 +1,132 @@
+"""Tests for detector checkpoint/restore."""
+
+import pytest
+
+from repro import (
+    MCODDetector,
+    NaiveDetector,
+    OutlierQuery,
+    QueryGroup,
+    SOPDetector,
+    WindowSpec,
+    compare_outputs,
+    make_synthetic_points,
+)
+from repro.checkpoint import CheckpointedRun, load_checkpoint, save_checkpoint
+from repro.streams.source import batches_by_boundary
+
+
+def group(kind="count"):
+    return QueryGroup([
+        OutlierQuery(r=400.0, k=4, window=WindowSpec(win=200, slide=50,
+                                                     kind=kind)),
+        OutlierQuery(r=900.0, k=6, window=WindowSpec(win=150, slide=50,
+                                                     kind=kind), name="wide"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_synthetic_points(800, seed=61)
+
+
+class TestSaveLoad:
+    def test_roundtrip_workload_and_window(self, tmp_path, stream):
+        det = SOPDetector(group())
+        batches = list(batches_by_boundary(stream, 50, "count"))
+        for t, batch in batches[:6]:
+            det.step(t, batch)
+        path = tmp_path / "ckpt.jsonl"
+        n = save_checkpoint(det, batches[5][0], path)
+        assert n == len(det.buffer)
+        restored, last_t = load_checkpoint(path)
+        assert last_t == batches[5][0]
+        assert [q.name for q in restored.group] == [q.name for q in det.group]
+        assert [p.seq for p in restored.buffer.points] == \
+            [p.seq for p in det.buffer.points]
+
+    def test_resume_produces_identical_outputs(self, tmp_path, stream):
+        """Run half, checkpoint, restore, run the rest: outputs match an
+        uninterrupted run exactly."""
+        batches = list(batches_by_boundary(stream, 50, "count"))
+        full = SOPDetector(group()).run(stream)
+
+        det = SOPDetector(group())
+        outputs = {}
+        half = len(batches) // 2
+        for t, batch in batches[:half]:
+            for qi, seqs in det.step(t, batch).items():
+                outputs[(qi, t)] = seqs
+        path = tmp_path / "ckpt.jsonl"
+        save_checkpoint(det, batches[half - 1][0], path)
+
+        restored, last_t = load_checkpoint(path)
+        assert last_t == batches[half - 1][0]
+        for t, batch in batches[half:]:
+            for qi, seqs in restored.step(t, batch).items():
+                outputs[(qi, t)] = seqs
+        assert not compare_outputs(full.outputs, outputs)
+
+    def test_restore_into_different_algorithm(self, tmp_path, stream):
+        """Evidence is rebuilt, so restoring into MCOD is legitimate."""
+        batches = list(batches_by_boundary(stream, 50, "count"))
+        det = SOPDetector(group())
+        half = len(batches) // 2
+        for t, batch in batches[:half]:
+            det.step(t, batch)
+        path = tmp_path / "ckpt.jsonl"
+        save_checkpoint(det, batches[half - 1][0], path)
+        restored, _ = load_checkpoint(path, factory=MCODDetector)
+        outputs = {}
+        for t, batch in batches[half:]:
+            for qi, seqs in restored.step(t, batch).items():
+                outputs[(qi, t)] = seqs
+        full = NaiveDetector(group()).run(stream)
+        expected = {k: v for k, v in full.outputs.items()
+                    if k[1] > batches[half - 1][0]}
+        assert not compare_outputs(expected, outputs)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="header"):
+            load_checkpoint(path)
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"version": 99, "queries": []}\n')
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_malformed_point_rejected(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text(
+            '{"version": 1, "last_boundary": 0, "kind": "count", '
+            '"queries": [{"r": 1, "k": 1, "win": 10, "slide": 5}]}\n'
+            '{"seq": "nope"}\n'
+        )
+        with pytest.raises(ValueError, match="malformed point"):
+            load_checkpoint(path)
+
+    def test_detector_without_buffer_rejected(self):
+        class NoBuffer:
+            name = "x"
+            group = None
+        with pytest.raises(TypeError, match="buffer"):
+            save_checkpoint(NoBuffer(), 0, "/tmp/never-written")
+
+
+class TestCheckpointedRun:
+    def test_periodic_writes(self, tmp_path, stream):
+        path = tmp_path / "live.jsonl"
+        run = CheckpointedRun(SOPDetector(group()), path, interval=3)
+        batches = list(batches_by_boundary(stream, 50, "count"))
+        for t, batch in batches[:7]:
+            run.step(t, batch)
+        assert run.checkpoints_written == 2
+        restored, last_t = load_checkpoint(path)
+        assert last_t == batches[5][0]  # 6th boundary (two intervals of 3)
+
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointedRun(SOPDetector(group()), tmp_path / "x", interval=0)

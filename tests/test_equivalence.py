@@ -1,0 +1,100 @@
+"""Cross-detector equivalence over the paper's full workload grid.
+
+Table 1 defines workload classes A-G; every detector must produce exactly
+the same outlier set for every member query at every output boundary.
+These are the integration tests binding the whole system together.
+"""
+
+import pytest
+
+from repro import (
+    LEAPDetector,
+    MCODDetector,
+    NaiveDetector,
+    SOPDetector,
+    compare_outputs,
+    make_stock_points,
+    make_synthetic_points,
+)
+from repro.bench import ScaledRanges, build_workload
+
+DETECTORS = [SOPDetector, MCODDetector, LEAPDetector]
+
+# ranges shrunk so the naive oracle stays fast
+TEST_RANGES = ScaledRanges(
+    r=(150.0, 1800.0),
+    k=(2, 10),
+    win=(60, 240),
+    slide=(20, 120),
+    slide_quantum=20,
+    fixed_r=500.0,
+    fixed_k=4,
+    fixed_win=150,
+    fixed_slide=50,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_synthetic_points(900, dim=2, outlier_rate=0.04, seed=11)
+
+
+@pytest.fixture(scope="module")
+def stock_stream():
+    return make_stock_points(700, seed=13)
+
+
+@pytest.mark.parametrize("spec", list("ABCDEFG"))
+@pytest.mark.parametrize("detector_cls", DETECTORS)
+def test_workload_grid_on_synthetic(spec, detector_cls, stream):
+    group = build_workload(spec, n_queries=6, seed=ord(spec),
+                           ranges=TEST_RANGES)
+    expected = NaiveDetector(group).run(stream)
+    actual = detector_cls(group).run(stream)
+    diffs = compare_outputs(expected.outputs, actual.outputs)
+    assert not diffs, f"workload {spec}, {detector_cls.__name__}:\n" + \
+        "\n".join(diffs)
+
+
+@pytest.mark.parametrize("spec", ["C", "F", "G"])
+@pytest.mark.parametrize("detector_cls", DETECTORS)
+def test_workload_grid_on_stock(spec, detector_cls, stock_stream):
+    group = build_workload(spec, n_queries=5, seed=100 + ord(spec),
+                           ranges=TEST_RANGES)
+    expected = NaiveDetector(group).run(stock_stream)
+    actual = detector_cls(group).run(stock_stream)
+    diffs = compare_outputs(expected.outputs, actual.outputs)
+    assert not diffs, f"workload {spec}, {detector_cls.__name__}:\n" + \
+        "\n".join(diffs)
+
+
+@pytest.mark.parametrize("detector_cls", DETECTORS)
+def test_larger_workload_equivalence(detector_cls, stream):
+    """A 25-query fully-arbitrary workload (class G)."""
+    group = build_workload("G", n_queries=25, seed=77, ranges=TEST_RANGES)
+    expected = NaiveDetector(group).run(stream)
+    actual = detector_cls(group).run(stream)
+    diffs = compare_outputs(expected.outputs, actual.outputs)
+    assert not diffs, "\n".join(diffs)
+
+
+@pytest.mark.parametrize("detector_cls", DETECTORS)
+def test_duplicate_queries_get_identical_answers(detector_cls, stream):
+    group = build_workload("A", n_queries=1, seed=5, ranges=TEST_RANGES)
+    dup_group = build_workload("A", n_queries=1, seed=5, ranges=TEST_RANGES)
+    from repro import QueryGroup
+    group2 = QueryGroup(list(group.queries) + list(dup_group.queries))
+    res = detector_cls(group2).run(stream)
+    for (qi, t), seqs in res.outputs.items():
+        twin = 1 - qi
+        assert res.outputs[(twin, t)] == seqs
+
+
+@pytest.mark.parametrize("detector_cls", DETECTORS)
+def test_identical_cpu_accounting_boundaries(detector_cls, stream):
+    """All detectors process exactly the same swift boundaries."""
+    group = build_workload("F", n_queries=4, seed=3, ranges=TEST_RANGES)
+    naive = NaiveDetector(group).run(stream)
+    other = detector_cls(group).run(stream)
+    assert naive.boundaries == other.boundaries
+    assert set(naive.outputs) == set(other.outputs)

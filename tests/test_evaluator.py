@@ -1,0 +1,140 @@
+"""Unit tests for outlier-status evaluation and safe-inlier logic."""
+
+import pytest
+
+from repro import (
+    KSkyRunner,
+    OutlierQuery,
+    QueryGroup,
+    WindowBuffer,
+    WindowSpec,
+    euclidean,
+    is_fully_safe,
+    is_outlier_for_query,
+    outlier_query_indexes,
+    parse_workload,
+    safe_min_layers,
+)
+from repro.core.evaluator import statuses_by_k_distance
+from repro.core.lsky import LSky
+
+from conftest import line_points
+
+
+def make_plan(rs_and_ks, win=8, slide=4):
+    return parse_workload(QueryGroup([
+        OutlierQuery(r=float(r), k=k, window=WindowSpec(win=win, slide=slide))
+        for r, k in rs_and_ks
+    ]))
+
+
+def sky_from(entries, n_layers):
+    sky = LSky(n_layers)
+    for seq, layer in entries:
+        sky.insert(seq, float(seq), layer)
+    return sky
+
+
+class TestSafeMinLayers:
+    def test_succeeding_only(self):
+        plan = make_plan([(1, 1), (2, 2), (3, 2)])
+        sky = sky_from([(9, 2), (8, 0), (3, 0), (2, 0)], plan.n_layers)
+        layers = safe_min_layers(plan, sky, p_seq=5)
+        # succ entries (seq > 5): layers [2, 0] sorted -> [0, 2]
+        assert layers[1] == 0
+        assert layers[2] == 2
+
+    def test_none_when_insufficient_successors(self):
+        plan = make_plan([(1, 3)])
+        sky = sky_from([(9, 0), (2, 0), (1, 0)], plan.n_layers)
+        assert safe_min_layers(plan, sky, p_seq=5)[3] is None
+
+    def test_all_successors_when_p_oldest(self):
+        plan = make_plan([(1, 2)])
+        sky = sky_from([(9, 0), (8, 0)], plan.n_layers)
+        assert safe_min_layers(plan, sky, p_seq=-1)[2] == 0
+
+
+class TestIsFullySafe:
+    def test_safe_when_every_subgroup_covered(self):
+        plan = make_plan([(1, 1), (2, 2)])
+        assert is_fully_safe(plan, {1: 0, 2: 0})
+        assert is_fully_safe(plan, {1: 0, 2: 1})
+
+    def test_not_safe_when_layer_above_subgroup_min(self):
+        # subgroup k=2 has min layer 0 (its hardest query has r=1)
+        plan = make_plan([(1, 2), (2, 2)])
+        assert not is_fully_safe(plan, {2: 1})
+
+    def test_not_safe_with_missing_k(self):
+        plan = make_plan([(1, 1), (2, 5)])
+        assert not is_fully_safe(plan, {1: 0, 5: None})
+
+
+class TestIsOutlierForQuery:
+    def _setup(self):
+        plan = make_plan([(1, 2), (3, 2)], win=8, slide=4)
+        # entries: two close-and-recent, one far-and-old
+        sky = sky_from([(7, 0), (6, 0), (1, 1)], plan.n_layers)
+        return plan, sky
+
+    def test_inlier_with_enough_recent_neighbors(self):
+        plan, sky = self._setup()
+        assert not is_outlier_for_query(plan, sky, 0, t=8)
+
+    def test_window_filter_lemma3(self):
+        # at t=12 the window is [4, 12): entry at pos 1 expired; entries at
+        # 7 and 6 still cover k=2 for the small radius
+        plan, sky = self._setup()
+        assert not is_outlier_for_query(plan, sky, 0, t=12)
+        # at t=14 the window is [6, 14): only the entry at 7 and 6 remain
+        # -- still 2.  At t=15, [7, 15): one neighbor left -> outlier
+        assert is_outlier_for_query(plan, sky, 0, t=15)
+
+    def test_outlier_query_indexes_respects_population(self):
+        plan, sky = self._setup()
+        # p at position 2 is outside the window [7, 15): no verdicts at all
+        assert outlier_query_indexes(plan, sky, p_pos=2.0,
+                                     due=[0, 1], t=15) == []
+
+    def test_outlier_query_indexes_returns_failing_queries(self):
+        plan = make_plan([(1, 2), (3, 2)], win=8, slide=4)
+        sky = sky_from([(7, 1), (6, 1)], plan.n_layers)  # only far neighbors
+        assert outlier_query_indexes(plan, sky, p_pos=7.0,
+                                     due=[0, 1], t=8) == [0]
+
+
+class TestKDistanceStatuses:
+    def test_matches_definition(self):
+        plan = make_plan([(1, 2), (2, 2), (3, 2)])
+        sky = sky_from([(9, 1), (8, 1), (7, 2)], plan.n_layers)
+        # k=2 nearest layers: [1, 1] -> k-distance layer 1
+        assert statuses_by_k_distance(plan, sky, 2) == [True, False, False]
+
+    def test_all_outlier_when_insufficient(self):
+        plan = make_plan([(1, 3), (2, 3)])
+        sky = sky_from([(9, 0)], plan.n_layers)
+        assert statuses_by_k_distance(plan, sky, 3) == [True, True]
+
+
+class TestSafeInlierEndToEnd:
+    def test_safe_point_never_reported_later(self):
+        """A point with k succeeding close neighbors stays inlier forever."""
+        plan = make_plan([(1.0, 2)], win=6, slide=2)
+        buf = WindowBuffer(euclidean)
+        # p at seq 0; two close successors right after
+        buf.extend(line_points([0.0, 0.1, 0.2, 5.0, 5.0, 5.0]))
+        result = KSkyRunner(plan).run_new_point((0.0,), 0, buf)
+        layers = safe_min_layers(plan, result.lsky, p_seq=0)
+        assert layers[2] == 0
+        assert is_fully_safe(plan, layers)
+
+    def test_preceding_neighbors_do_not_make_safe(self):
+        plan = make_plan([(1.0, 2)], win=6, slide=2)
+        buf = WindowBuffer(euclidean)
+        # p at seq 5 (last); its neighbors all precede it
+        buf.extend(line_points([0.0, 0.1, 0.2, 5.0, 5.0, 0.05]))
+        result = KSkyRunner(plan).run_new_point((0.05,), 5, buf)
+        layers = safe_min_layers(plan, result.lsky, p_seq=5)
+        assert layers[2] is None
+        assert not is_fully_safe(plan, layers)

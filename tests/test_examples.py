@@ -1,0 +1,62 @@
+"""Every example script must run cleanly end to end.
+
+Each example is executed in-process (cheaper than subprocesses, and
+coverage-friendly) with its stdout captured; smoke assertions pin the
+load-bearing lines of each script's output.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "verified against brute force: IDENTICAL" in out
+        assert "skyband plan" in out
+
+    def test_credit_fraud(self, capsys):
+        out = run_example("credit_fraud", capsys)
+        assert "per-analyst detection quality" in out
+        assert "consensus alerts" in out
+        # every analyst line reports precision/recall
+        assert out.count("precision") >= 4
+
+    def test_stock_monitoring(self, capsys):
+        out = run_example("stock_monitoring", capsys)
+        assert "per-query alert quality" in out
+        assert "skyband entries" in out
+
+    def test_parameter_exploration(self, capsys):
+        out = run_example("parameter_exploration", capsys)
+        assert "outlier rate (%) by (r, k)" in out
+        assert "window sensitivity" in out
+
+    def test_csv_pipeline(self, capsys):
+        out = run_example("csv_pipeline", capsys)
+        assert "audit vs MCOD re-run: CLEAN" in out
+        assert "transition alerts" in out
+
+    def test_resilient_monitor(self, capsys):
+        out = run_example("resilient_monitor", capsys)
+        assert "0 mismatches" in out and "CLEAN" in out
+        assert "restored monitor" in out

@@ -1,0 +1,136 @@
+"""Unit and property tests for the grid index substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Point, euclidean, manhattan
+from repro.index import GridIndex, IndexedWindow
+
+from conftest import line_points
+
+
+def pts2d(rows, start_seq=0):
+    return [Point(seq=start_seq + i, values=tuple(row))
+            for i, row in enumerate(rows)]
+
+
+class TestGridIndexBasics:
+    def test_cell_size_validated(self):
+        with pytest.raises(ValueError):
+            GridIndex(0.0)
+
+    def test_insert_and_len(self):
+        idx = GridIndex(1.0)
+        idx.insert(Point(seq=0, values=(0.5, 0.5)))
+        assert len(idx) == 1 and 0 in idx
+
+    def test_duplicate_seq_rejected(self):
+        idx = GridIndex(1.0)
+        idx.insert(Point(seq=0, values=(0.5,)))
+        with pytest.raises(ValueError, match="already indexed"):
+            idx.insert(Point(seq=0, values=(0.7,)))
+
+    def test_remove(self):
+        idx = GridIndex(1.0)
+        p = Point(seq=3, values=(2.5,))
+        idx.insert(p)
+        assert idx.remove(3) == p
+        assert len(idx) == 0 and idx.cell_count() == 0
+
+    def test_remove_missing(self):
+        with pytest.raises(KeyError):
+            GridIndex(1.0).remove(7)
+
+    def test_cell_of_negative_coordinates(self):
+        idx = GridIndex(1.0)
+        assert idx.cell_of((-0.5, 1.5)) == (-1, 1)
+
+
+class TestRangeQueries:
+    def _index(self):
+        idx = GridIndex(1.0)
+        for p in pts2d([(0.0, 0.0), (0.9, 0.0), (2.5, 2.5), (-0.8, 0.1)]):
+            idx.insert(p)
+        return idx
+
+    def test_range_query_exact(self):
+        idx = self._index()
+        hits = {p.seq for p in idx.range_query((0.0, 0.0), 1.0)}
+        assert hits == {0, 1, 3}
+
+    def test_exclude_seq(self):
+        idx = self._index()
+        hits = {p.seq for p in idx.range_query((0.0, 0.0), 1.0,
+                                               exclude_seq=0)}
+        assert hits == {1, 3}
+
+    def test_radius_beyond_one_cell(self):
+        idx = self._index()
+        hits = {p.seq for p in idx.range_query((0.0, 0.0), 4.0)}
+        assert hits == {0, 1, 2, 3}
+
+    def test_range_count_stop_at(self):
+        idx = self._index()
+        assert idx.range_count((0.0, 0.0), 1.0, stop_at=2) == 2
+        assert idx.range_count((0.0, 0.0), 1.0) == 3
+
+    def test_respects_metric(self):
+        idx = GridIndex(1.0, metric=manhattan)
+        for p in pts2d([(0.0, 0.0), (0.7, 0.7)]):
+            idx.insert(p)
+        # manhattan distance 1.4 > 1.0; euclidean would be ~0.99
+        assert idx.range_count((0.0, 0.0), 1.0, exclude_seq=0) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=st.lists(st.tuples(
+    st.floats(min_value=-50, max_value=50, allow_nan=False),
+    st.floats(min_value=-50, max_value=50, allow_nan=False)),
+    min_size=1, max_size=60),
+    probe=st.tuples(st.floats(min_value=-50, max_value=50, allow_nan=False),
+                    st.floats(min_value=-50, max_value=50, allow_nan=False)),
+    r=st.floats(min_value=0.1, max_value=30),
+    cell=st.floats(min_value=0.3, max_value=10))
+def test_grid_matches_brute_force(rows, probe, r, cell):
+    idx = GridIndex(cell)
+    pts = pts2d(rows)
+    for p in pts:
+        idx.insert(p)
+    expected = {p.seq for p in pts if euclidean(probe, p.values) <= r}
+    got = {p.seq for p in idx.range_query(probe, r)}
+    assert got == expected
+
+
+class TestIndexedWindow:
+    def test_extend_and_evict(self):
+        win = IndexedWindow(cell_size=1.0)
+        win.extend(line_points(range(10)))
+        assert len(win) == 10
+        evicted = win.evict_before(4.0)
+        assert [p.seq for p in evicted] == [0, 1, 2, 3]
+        assert len(win) == 6
+        assert len(win.index) == 6
+
+    def test_order_enforced(self):
+        win = IndexedWindow(cell_size=1.0)
+        win.extend(line_points([1.0]))
+        with pytest.raises(ValueError, match="increasing"):
+            win.extend(line_points([2.0]))  # same seq 0
+
+    def test_neighbor_count_matches_linear_scan(self, rng):
+        values = rng.uniform(0, 20, size=100)
+        win = IndexedWindow(cell_size=2.0)
+        win.extend(line_points(values))
+        win.evict_before(30.0)
+        live = values[30:]
+        for probe in (0.0, 5.0, 19.0):
+            expected = int((np.abs(live - probe) <= 2.0).sum())
+            assert win.neighbor_count((probe,), 2.0) == expected
+
+    def test_time_based_eviction(self):
+        win = IndexedWindow(cell_size=1.0, by_time=True)
+        win.extend(line_points([1, 2, 3], times=[0.5, 5.0, 9.0]))
+        win.evict_before(4.0)
+        assert [p.seq for p in win.points] == [1, 2]

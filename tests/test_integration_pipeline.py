@@ -1,0 +1,133 @@
+"""Cross-module integration scenarios stitching several subsystems."""
+
+import pytest
+
+from repro import (
+    AlertRouter,
+    CollectingSink,
+    DynamicSOPDetector,
+    LEAPDetector,
+    MCODDetector,
+    MultiAttributeDetector,
+    NaiveDetector,
+    OutlierQuery,
+    QueryGroup,
+    SOPDetector,
+    WindowSpec,
+    compare_outputs,
+    load_results_jsonl,
+    make_stock_points,
+    make_synthetic_points,
+    run_with_alerts,
+    save_results_jsonl,
+)
+from repro.bench import ScaledRanges, build_workload
+from repro.streams.source import batches_by_boundary
+
+
+def q(r, k, win, slide, kind="count", **kw):
+    return OutlierQuery(r=float(r), k=k,
+                        window=WindowSpec(win=win, slide=slide, kind=kind),
+                        **kw)
+
+
+class TestPaperRegimeIntegration:
+    """The benchmark data regime, validated against the oracle once."""
+
+    def test_mixed_workload_on_paper_regime_stream(self):
+        pts = make_synthetic_points(1000, dim=2, outlier_rate=0.02,
+                                    seed=7, n_clusters=2,
+                                    cluster_spread=185)
+        ranges = ScaledRanges(
+            r=(200.0, 2000.0), k=(5, 40), win=(100, 400),
+            slide=(50, 200), slide_quantum=50, fixed_r=700.0,
+            fixed_k=8, fixed_win=300, fixed_slide=50,
+        )
+        group = build_workload("G", 12, seed=99, ranges=ranges)
+        oracle = NaiveDetector(group).run(pts)
+        for cls in (SOPDetector, MCODDetector, LEAPDetector):
+            res = cls(group).run(pts)
+            diffs = compare_outputs(oracle.outputs, res.outputs)
+            assert not diffs, f"{cls.__name__}: " + "\n".join(diffs)
+
+
+class TestAlertsOverBaselines:
+    def test_router_is_detector_agnostic(self):
+        pts = make_synthetic_points(600, seed=5)
+        group = QueryGroup([q(400, 4, 200, 100), q(900, 6, 200, 100)])
+        feeds = {}
+        for cls in (SOPDetector, MCODDetector):
+            sink = CollectingSink()
+            run_with_alerts(cls(group), pts, [sink], dedupe="transitions")
+            feeds[cls.__name__] = [(a.boundary, a.query_index, a.seq)
+                                   for a in sink.alerts]
+        assert feeds["SOPDetector"] == feeds["MCODDetector"]
+
+
+class TestArchiveAudit:
+    def test_archive_roundtrip_supports_cross_algorithm_audit(self, tmp_path):
+        pts = make_stock_points(500, seed=19)
+        group = QueryGroup([
+            q(8, 3, 2000, 500, kind="time"),
+            q(20, 5, 4000, 1000, kind="time"),
+        ])
+        sop = SOPDetector(group).run(pts)
+        path = tmp_path / "archive.jsonl"
+        save_results_jsonl(sop.outputs, path)
+        audit = LEAPDetector(group).run(pts)
+        assert not compare_outputs(load_results_jsonl(path), audit.outputs)
+
+
+class TestDynamicLifecycle:
+    def test_full_lifecycle_empty_to_full_to_empty(self):
+        pts = make_synthetic_points(400, seed=23)
+        dyn = DynamicSOPDetector()
+        batches = list(batches_by_boundary(pts, 50, "count"))
+        # phase 1: empty workload
+        assert dyn.step(*batches[0]) == {}
+        # phase 2: add two queries
+        h0 = dyn.add_query(q(400, 4, 200, 50))
+        h1 = dyn.add_query(q(900, 6, 100, 50))
+        out = dyn.step(*batches[1])
+        assert set(out) == {h0, h1}
+        # phase 3: drop one, keep stepping
+        dyn.remove_query(h0)
+        out = dyn.step(*batches[2])
+        assert set(out) == {h1}
+        # phase 4: drop all -> silent again; retained buffer cleared lazily
+        dyn.remove_query(h1)
+        assert dyn.step(*batches[3]) == {}
+        assert dyn.swift is None
+
+    def test_readding_after_empty_still_exact(self):
+        pts = make_synthetic_points(400, seed=29)
+        batches = list(batches_by_boundary(pts, 50, "count"))
+        dyn = DynamicSOPDetector([q(400, 4, 100, 50)])
+        dyn.step(*batches[0])
+        dyn.remove_query(0)
+        dyn.step(*batches[1])
+        h = dyn.add_query(q(400, 4, 100, 50))
+        outputs = {}
+        for t, batch in batches[2:]:
+            for handle, seqs in dyn.step(t, batch).items():
+                outputs[(0, t)] = seqs
+        static = SOPDetector(QueryGroup([q(400, 4, 100, 50)])).run(pts)
+        for (qi, t), seqs in static.outputs.items():
+            if t >= batches[2][0] + 100:  # past the retained-history seam
+                assert outputs[(0, t)] == seqs
+
+
+class TestMultiAttrBaselines:
+    def test_all_detectors_agree_on_mixed_attribute_workload(self):
+        pts = make_synthetic_points(500, dim=3, seed=41)
+        queries = [
+            q(400, 4, 150, 50, attributes=(0, 1)),
+            q(700, 5, 200, 50, attributes=(2,)),
+            q(500, 3, 100, 50),
+        ]
+        oracle = MultiAttributeDetector(queries, factory=NaiveDetector
+                                        ).run(pts)
+        for factory in (SOPDetector, MCODDetector, LEAPDetector):
+            res = MultiAttributeDetector(queries, factory=factory).run(pts)
+            diffs = compare_outputs(oracle.outputs, res.outputs)
+            assert not diffs, f"{factory.__name__}: " + "\n".join(diffs)

@@ -1,0 +1,189 @@
+"""General K-SKY behaviour beyond the paper's worked examples."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    KSkyRunner,
+    OutlierQuery,
+    QueryGroup,
+    WindowBuffer,
+    WindowSpec,
+    euclidean,
+    parse_workload,
+    sky_evaluate,
+)
+from repro.core.lsky import LSky
+
+from conftest import line_points
+
+
+def make_plan(rs_and_ks, win=100, slide=10):
+    return parse_workload(QueryGroup([
+        OutlierQuery(r=float(r), k=k, window=WindowSpec(win=win, slide=slide))
+        for r, k in rs_and_ks
+    ]))
+
+
+def run_on(values, plan, p_values=(0.0,), p_seq=-1, chunk_size=256):
+    buf = WindowBuffer(euclidean)
+    buf.extend(line_points(values))
+    return KSkyRunner(plan, chunk_size=chunk_size).run_new_point(
+        p_values, p_seq, buf)
+
+
+class TestSkyEvaluate:
+    def test_beyond_grid_rejected(self):
+        plan = make_plan([(1, 2)])
+        assert not sky_evaluate(plan, LSky(plan.n_layers), layer=plan.n_layers)
+
+    def test_insertable_when_underdominated(self):
+        plan = make_plan([(1, 2), (5, 2)])
+        sky = LSky(plan.n_layers)
+        assert sky_evaluate(plan, sky, layer=1)
+
+    def test_rejected_at_kmax_dominators(self):
+        plan = make_plan([(1, 2)])
+        sky = LSky(plan.n_layers)
+        sky.insert(9, 9.0, 0)
+        sky.insert(8, 8.0, 0)
+        assert not sky_evaluate(plan, sky, layer=0)
+
+    def test_condition3_rejects_far_point_for_exhausted_low_k(self):
+        # k=2 reaches r=10 (layer 1), k=5 only r=1 (layer 0); with 2
+        # dominators only k=5 still cares, and it cannot use layer 1
+        plan = make_plan([(10, 2), (1, 5)])
+        sky = LSky(plan.n_layers)
+        sky.insert(9, 9.0, 0)
+        sky.insert(8, 8.0, 0)
+        assert not sky_evaluate(plan, sky, layer=1)
+        assert sky_evaluate(plan, sky, layer=0)
+
+
+class TestTermination:
+    def test_early_termination_skips_old_points(self):
+        # ten zeros: k=2 within r=1 resolves after two insertions
+        plan = make_plan([(1.0, 2)])
+        result = run_on([0.0] * 10, plan)
+        assert result.terminated_early
+        assert result.examined < 10
+        assert len(result.lsky) == 2
+
+    def test_exhausts_when_unresolved(self):
+        plan = make_plan([(1.0, 5)])
+        result = run_on([0.0, 10.0, 10.0, 0.0, 10.0], plan)
+        assert not result.terminated_early
+        assert result.examined == 5
+        assert not result.resolved_all
+
+    def test_resolution_requires_min_layer(self):
+        # neighbors only at the far radius: the small-r query never
+        # resolves, so the scan cannot stop (Alg. 1 line 12 semantics)
+        plan = make_plan([(1.0, 2), (10.0, 2)])
+        result = run_on([5.0] * 8, plan)
+        assert not result.terminated_early
+        assert result.examined == 8
+
+    def test_multi_subgroup_requires_all_resolved(self):
+        # k=1 resolves immediately; k=3 needs three close points that only
+        # appear early in the stream (scanned last)
+        plan = make_plan([(1.0, 1), (1.0, 3)])
+        values = [0.0, 0.0, 0.0, 5.0, 5.0, 0.0]
+        result = run_on(values, plan)
+        assert result.resolved_all
+        # had to dig past the two far points to find the 3rd close one
+        assert result.examined >= 4
+
+
+class TestSelfExclusion:
+    def test_evaluated_point_skipped(self):
+        plan = make_plan([(1.0, 1)])
+        buf = WindowBuffer(euclidean)
+        buf.extend(line_points([0.0, 50.0]))
+        result = KSkyRunner(plan).run_new_point((0.0,), 0, buf)
+        # the point at seq 0 is p itself: its only potential neighbor is
+        # far away, so the skyband is empty
+        assert len(result.lsky) == 0
+        assert result.examined == 1
+
+
+class TestChunking:
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 7, 256])
+    def test_chunk_size_does_not_change_output(self, chunk, rng):
+        plan = make_plan([(0.5, 2), (1.5, 4), (3.0, 3)])
+        values = rng.uniform(0, 4, size=60)
+        baseline = run_on(list(values), plan, chunk_size=256)
+        other = run_on(list(values), plan, chunk_size=chunk)
+        assert list(baseline.lsky.entries()) == list(other.lsky.entries())
+        assert baseline.examined == other.examined
+
+    def test_chunk_size_validated(self):
+        plan = make_plan([(1, 1)])
+        with pytest.raises(ValueError):
+            KSkyRunner(plan, chunk_size=0)
+
+
+class TestOnePassProperty:
+    def test_entries_strictly_time_descending(self, rng):
+        plan = make_plan([(0.5, 3), (2.0, 5)])
+        values = rng.uniform(0, 3, size=80)
+        result = run_on(list(values), plan)
+        seqs = result.lsky.seqs
+        assert all(a > b for a, b in zip(seqs, seqs[1:]))
+
+    def test_skyband_size_bounded_by_layers_times_kmax(self, rng):
+        plan = make_plan([(0.5, 2), (1.0, 4), (2.0, 3)])
+        values = rng.uniform(0, 2, size=200)
+        result = run_on(list(values), plan)
+        assert len(result.lsky) <= plan.n_layers * plan.k_max
+
+    def test_every_entry_underdominated_at_insertion(self, rng):
+        """Replay the insertion log; each entry obeyed Def. 6 (1)+(2)."""
+        plan = make_plan([(0.4, 3), (1.2, 2), (2.5, 4)])
+        values = rng.uniform(0, 3, size=120)
+        result = run_on(list(values), plan)
+        replay = LSky(plan.n_layers)
+        for seq, pos, layer in result.lsky.entries():
+            assert replay.dominator_count(layer) < plan.k_max
+            replay.insert(seq, pos, layer)
+
+
+class TestLeastExamination:
+    def test_rebuild_equals_scratch(self, rng):
+        """Incremental K-SKY gives the same skyband as a full rescan."""
+        plan = make_plan([(0.5, 2), (1.5, 3)], win=60, slide=20)
+        values = list(rng.uniform(0, 2, size=80))
+        buf = WindowBuffer(euclidean)
+        buf.extend(line_points(values[:60]))
+        runner = KSkyRunner(plan)
+        p_values, p_seq = (0.7,), -1
+        first = runner.run_new_point(p_values, p_seq, buf)
+
+        buf.extend(line_points(values[60:80], start_seq=60))
+        buf.evict_before(20, by_time=False)
+        old = first.lsky.unexpired_entries(20.0)
+        new_from = 60 - buf.points[0].seq
+        incremental = runner.run_existing_point(
+            p_values, p_seq, buf, old, new_from)
+        scratch = runner.run_new_point(p_values, p_seq, buf)
+        # identical windowed counts for every (layer, window-start) pair the
+        # evaluator can ask about
+        for m in range(plan.n_layers):
+            for ws in (20.0, 35.0, 50.0, 70.0):
+                for cap in (1, 2, 3):
+                    assert (incremental.lsky.count_within(m, ws, cap)
+                            == scratch.lsky.count_within(m, ws, cap))
+
+    def test_incremental_examines_fewer(self, rng):
+        plan = make_plan([(0.5, 2)], win=60, slide=20)
+        values = list(rng.uniform(0, 5, size=80))
+        buf = WindowBuffer(euclidean)
+        buf.extend(line_points(values[:60]))
+        runner = KSkyRunner(plan)
+        first = runner.run_new_point((2.5,), -1, buf)
+        buf.extend(line_points(values[60:80], start_seq=60))
+        buf.evict_before(20, by_time=False)
+        old = first.lsky.unexpired_entries(20.0)
+        incremental = runner.run_existing_point((2.5,), -1, buf, old,
+                                                60 - buf.points[0].seq)
+        assert incremental.examined <= 20 + len(old)

@@ -1,0 +1,165 @@
+"""K-SKY verified against the paper's worked examples (Figs. 1-4).
+
+The examples describe an evaluated point ``p`` and stream points given by
+``<arrival time, distance to p>``.  We realize them as 1-D points with
+``p`` at the origin and each ``p_i`` at value ``d_i``, so Euclidean
+distance reproduces the figures exactly.  ``p_i`` of the paper is
+``seq = i - 1`` here.
+"""
+
+import pytest
+
+from repro import (
+    KSkyRunner,
+    OutlierQuery,
+    QueryGroup,
+    WindowBuffer,
+    WindowSpec,
+    euclidean,
+    parse_workload,
+)
+
+from conftest import line_points
+
+
+def make_plan(rs_and_ks, win=8, slide=4):
+    queries = [
+        OutlierQuery(r=float(r), k=k, window=WindowSpec(win=win, slide=slide))
+        for r, k in rs_and_ks
+    ]
+    return parse_workload(QueryGroup(queries))
+
+
+class TestExample1And2:
+    """Q = {q1(1), q2(2), q3(3)}, k = 3, distances (2,3,2,1,1,4,3,2)."""
+
+    DISTANCES = [2, 3, 2, 1, 1, 4, 3, 2]
+
+    def _run(self):
+        plan = make_plan([(1, 3), (2, 3), (3, 3)])
+        buf = WindowBuffer(euclidean)
+        buf.extend(line_points(self.DISTANCES))
+        runner = KSkyRunner(plan)
+        return plan, buf, runner, runner.run_new_point((0.0,), -1, buf)
+
+    def test_skyband_points_match_example1(self):
+        # "the skyband points are {<t4,1>, <t5,1>, <t7,3>, <t8,2>}"
+        _, _, _, result = self._run()
+        assert sorted(result.lsky.seqs) == [3, 4, 6, 7]
+
+    def test_bucket_placement_matches_figure2(self):
+        # B1 = {p4, p5}, B2 = {p8}, B3 = {p7}; p6 excluded (d=4 > r_max)
+        _, _, _, result = self._run()
+        assert result.lsky.layer_buckets() == {0: [3, 4], 1: [7], 2: [6]}
+
+    def test_p6_excluded_by_def5_condition3(self):
+        _, _, _, result = self._run()
+        assert 5 not in result.lsky.seqs
+
+    def test_p1_p2_p3_dominated_out(self):
+        # "all of them are excluded ... dominated by at least 3 data points"
+        _, _, _, result = self._run()
+        assert not {0, 1, 2} & set(result.lsky.seqs)
+
+    def test_all_points_examined_no_early_termination(self):
+        # only two points lie within r_min=1, so the k=3 termination
+        # condition never fires and the scan sees all 8 points
+        _, _, _, result = self._run()
+        assert result.examined == 8
+        assert not result.terminated_early
+
+    def test_k_distance_observation(self):
+        # kNN(p) = {p4, p5, p8}; k-distance = 2 -> outlier for q1 only
+        plan, _, _, result = self._run()
+        kd = result.lsky.k_distance_layer(3)
+        assert kd == plan.grid.layer_of(2.0) == 1
+        # outlier iff the query layer is below the k-distance layer
+        assert [result.lsky.count_within(m, 0.0, 3) < 3 for m in range(3)] \
+            == [True, False, False]
+
+    def test_example2_window_slide(self):
+        """W_{c+1}: p1-p4 expire, p9-p12 arrive far away (d > 3)."""
+        plan, buf, runner, result = self._run()
+        old = result.lsky.unexpired_entries(4.0)  # window now starts at p5
+        # p7 (not in kNN of W_c) was retained -- the necessity argument
+        assert [seq for seq, _, _ in old] == [7, 6, 4]
+        buf.evict_before(4, by_time=False)
+        buf.extend(line_points([5, 6, 7, 5], start_seq=8))
+        new_from = 8 - buf.points[0].seq
+        res2 = runner.run_existing_point((0.0,), -1, buf, old, new_from)
+        # kNN is now {p5:1, p8:2, p7:3}: k-distance = 3
+        assert sorted(res2.lsky.seqs) == [4, 6, 7]
+        assert res2.lsky.k_distance_layer(3) == plan.grid.layer_of(3.0) == 2
+        # "p is an outlier for q1 and q2, while being an inlier only for q3"
+        assert [res2.lsky.count_within(m, 4.0, 3) < 3 for m in range(3)] \
+            == [True, True, False]
+
+    def test_least_examination_skips_non_skyband_survivors(self):
+        plan, buf, runner, result = self._run()
+        old = result.lsky.unexpired_entries(4.0)
+        buf.evict_before(4, by_time=False)
+        buf.extend(line_points([5, 6, 7, 5], start_seq=8))
+        res2 = runner.run_existing_point((0.0,), -1, buf, old, 4)
+        # examined = 4 new arrivals + 3 unexpired skyband points, although
+        # the window holds 8 points
+        assert res2.examined == 7
+
+
+class TestExample3:
+    """QG1 = (k=2; r 1,3,4), QG2 = (k=3; r 2,3,4); Fig. 4 distances."""
+
+    # distances to p per the Example 3 narrative (p1's distance is never
+    # examined; any in-range value works)
+    DISTANCES = [2, 1, 3, 2, 1, 4, 3, 2]
+
+    def _run(self):
+        plan = make_plan([(1, 2), (3, 2), (4, 2), (2, 3), (3, 3), (4, 3)])
+        buf = WindowBuffer(euclidean)
+        buf.extend(line_points(self.DISTANCES))
+        runner = KSkyRunner(plan)
+        return plan, runner.run_new_point((0.0,), -1, buf)
+
+    def test_grid_is_figure3(self):
+        plan, _ = self._run()
+        assert plan.grid.values == (1.0, 2.0, 3.0, 4.0)
+        assert plan.k_list == (2, 3)
+
+    def test_bucket_placement_matches_figure4(self):
+        # p8->B2, p7->B3, p6->B4, p5->B1, p4->B2, p2->B1; p3 excluded
+        _, result = self._run()
+        assert result.lsky.layer_buckets() == {
+            0: [1, 4],   # B1: p2, p5
+            1: [3, 7],   # B2: p4, p8
+            2: [6],      # B3: p7
+            3: [5],      # B4: p6
+        }
+
+    def test_p3_excluded(self):
+        # "p3 will be excluded from LSky, since p3 (in B3) is dominated by
+        # four points" (here: p5, p4, p8, p7 at layers <= 2 when examined;
+        # either way >= k_max = 3)
+        _, result = self._run()
+        assert 2 not in result.lsky.seqs
+
+    def test_p1_never_examined(self):
+        # "The earliest arrival p1 is not evaluated."
+        _, result = self._run()
+        assert result.examined == 7
+        assert result.terminated_early
+        assert result.resolved_all
+
+    def test_all_queries_classify_p_as_inlier(self):
+        plan, result = self._run()
+        for qi, query in enumerate(plan.group):
+            m = plan.query_layers[qi]
+            count = result.lsky.count_within(m, 0.0, query.k)
+            assert count >= query.k, f"{query.name} should be inlier"
+
+    def test_qg2_resolution_at_p4(self):
+        # after p4 is processed, three points sit at layers <= layer(r2=2):
+        # p5(B1), p8(B2), p4(B2) -- that resolves QG2 (k=3)
+        _, result = self._run()
+        sky = result.lsky
+        upto_p4 = [s for s in sky.seqs if s >= 3]
+        assert len([s for s in upto_p4
+                    if sky.layers[sky.seqs.index(s)] <= 1]) == 3

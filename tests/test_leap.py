@@ -1,0 +1,94 @@
+"""Unit tests for the LEAP baseline: probing, safety, independence."""
+
+import pytest
+
+from repro import (
+    LEAPDetector,
+    OutlierQuery,
+    QueryGroup,
+    SOPDetector,
+    WindowSpec,
+)
+
+from conftest import assert_equivalent, line_points
+
+
+def group_of(*params):
+    return QueryGroup([
+        OutlierQuery(r=float(r), k=k, window=WindowSpec(win=w, slide=s))
+        for r, k, w, s in params
+    ])
+
+
+class TestSingleQuery:
+    def test_equivalence(self, small_stream):
+        g = group_of((400, 5, 200, 50))
+        assert_equivalent(g, small_stream, LEAPDetector(g))
+
+    def test_safe_inliers_drop_evidence(self):
+        g = group_of((1.0, 2, 40, 10))
+        det = LEAPDetector(g)
+        det.run(line_points([0.0] * 100))
+        inst = det.instances[0]
+        safe = sum(1 for ev in inst._evidence.values() if ev.safe)
+        assert safe > 0
+        # safe points report zero stored units
+        assert all(ev.units(2) == 0 for ev in inst._evidence.values()
+                   if ev.safe)
+
+    def test_minimal_probing_keeps_at_most_k_preds(self):
+        g = group_of((1.0, 3, 60, 20))
+        det = LEAPDetector(g)
+        det.run(line_points([0.0] * 120))
+        inst = det.instances[0]
+        assert all(len(ev.pred_poss) <= 3
+                   for ev in inst._evidence.values())
+
+    def test_probe_resumes_after_expiry(self):
+        """Evidence expiry forces deeper probing, not a restart."""
+        # neighbors early, then the probed point, then silence
+        values = [0.0, 0.1, 0.2, 0.3] + [0.05] + [50.0] * 35
+        g = group_of((1.0, 4, 20, 5))
+        assert_equivalent(g, line_points(values), LEAPDetector(g))
+
+
+class TestMultiQueryIndependence:
+    def test_equivalence(self, small_stream, small_group):
+        assert_equivalent(small_group, small_stream,
+                          LEAPDetector(small_group))
+
+    def test_instance_per_query(self, small_group):
+        det = LEAPDetector(small_group)
+        assert len(det.instances) == len(small_group)
+
+    def test_memory_grows_with_queries(self, small_stream):
+        one = group_of((400, 6, 200, 50))
+        four = group_of(*[(400, 6, 200, 50)] * 4)
+        m1 = LEAPDetector(one).run(small_stream).peak_memory_units
+        m4 = LEAPDetector(four).run(small_stream).peak_memory_units
+        assert m4 >= 3 * m1  # no sharing across instances
+
+    def test_cpu_grows_with_queries(self, small_stream):
+        """The paper's core complaint: LEAP redoes work per query."""
+        one = group_of((400, 6, 200, 50))
+        eight = group_of(*[(400, 6, 200, 50)] * 8)
+        c1 = LEAPDetector(one).run(small_stream).cpu_total_s
+        c8 = LEAPDetector(eight).run(small_stream).cpu_total_s
+        assert c8 > 3 * c1
+
+
+class TestWindowHandling:
+    def test_varying_windows_equivalence(self, small_stream):
+        g = group_of((500, 4, 100, 50), (500, 4, 300, 50), (500, 4, 200, 50))
+        assert_equivalent(g, small_stream, LEAPDetector(g))
+
+    def test_varying_slides_equivalence(self, small_stream):
+        g = group_of((500, 4, 200, 40), (500, 4, 200, 100),
+                     (500, 4, 200, 60))
+        assert_equivalent(g, small_stream, LEAPDetector(g))
+
+    def test_outlier_to_inlier_transition(self):
+        # a lonely point gains neighbors later (succeeding neighbors)
+        values = [0.0] + [50.0] * 9 + [0.1, 0.2] + [50.0] * 8
+        g = group_of((1.0, 2, 30, 10))
+        assert_equivalent(g, line_points(values), LEAPDetector(g))

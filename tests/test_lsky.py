@@ -1,0 +1,118 @@
+"""Unit tests for the LSky layered skyband structure."""
+
+import pytest
+
+from repro import LSky
+
+
+def build(entries, n_layers=4):
+    """entries: list of (seq, layer); pos defaults to seq."""
+    sky = LSky(n_layers)
+    for seq, layer in entries:
+        sky.insert(seq, float(seq), layer)
+    return sky
+
+
+class TestInsert:
+    def test_requires_descending_seq(self):
+        sky = build([(10, 0)])
+        with pytest.raises(ValueError, match="descending"):
+            sky.insert(10, 10.0, 1)
+        with pytest.raises(ValueError, match="descending"):
+            sky.insert(11, 11.0, 1)
+
+    def test_layer_bounds(self):
+        sky = LSky(3)
+        with pytest.raises(ValueError):
+            sky.insert(1, 1.0, 3)
+        with pytest.raises(ValueError):
+            sky.insert(1, 1.0, -1)
+
+    def test_len(self):
+        assert len(build([(9, 1), (5, 0), (2, 2)])) == 3
+
+    def test_needs_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            LSky(0)
+
+
+class TestDominatorCount:
+    def test_counts_layer_prefix(self):
+        sky = build([(9, 1), (8, 0), (7, 2), (6, 0)])
+        assert sky.dominator_count(0) == 2
+        assert sky.dominator_count(1) == 3
+        assert sky.dominator_count(2) == 4
+        assert sky.dominator_count(3) == 4
+
+    def test_empty(self):
+        assert LSky(2).dominator_count(1) == 0
+
+
+class TestCountWithin:
+    def test_layer_and_window_filters(self):
+        sky = build([(9, 1), (8, 0), (4, 0), (2, 2)])
+        assert sky.count_within(max_layer=0, min_pos=0.0, cap=10) == 2
+        assert sky.count_within(max_layer=0, min_pos=5.0, cap=10) == 1
+        assert sky.count_within(max_layer=2, min_pos=0.0, cap=10) == 4
+
+    def test_cap_short_circuits(self):
+        sky = build([(9, 0), (8, 0), (7, 0)])
+        assert sky.count_within(0, 0.0, cap=2) == 2
+
+    def test_stops_at_expired_prefix(self):
+        # entries are pos-descending: an expired entry ends the scan
+        sky = build([(9, 0), (3, 0), (2, 0)])
+        assert sky.count_within(0, min_pos=4.0, cap=10) == 1
+
+
+class TestSuccLayers:
+    def test_prefix_of_younger_entries(self):
+        sky = build([(9, 1), (8, 0), (4, 2), (2, 0)])
+        assert sky.succ_layers(p_seq=5) == [1, 0]
+        assert sky.succ_layers(p_seq=0) == [1, 0, 2, 0]
+        assert sky.succ_layers(p_seq=9) == []
+
+
+class TestKDistance:
+    def test_layer_of_kth_nearest(self):
+        sky = build([(9, 2), (8, 0), (7, 1), (6, 0)])
+        assert sky.k_distance_layer(1) == 0
+        assert sky.k_distance_layer(2) == 0
+        assert sky.k_distance_layer(3) == 1
+        assert sky.k_distance_layer(4) == 2
+
+    def test_none_when_insufficient(self):
+        assert build([(9, 0)]).k_distance_layer(2) is None
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            build([]).k_distance_layer(0)
+
+
+class TestExpiry:
+    def test_unexpired_entries_keep_order(self):
+        sky = build([(9, 1), (7, 0), (3, 2), (1, 0)])
+        assert sky.unexpired_entries(4.0) == [(9, 9.0, 1), (7, 7.0, 0)]
+
+    def test_all_unexpired(self):
+        sky = build([(9, 1), (7, 0)])
+        assert len(sky.unexpired_entries(0.0)) == 2
+
+    def test_all_expired(self):
+        sky = build([(9, 1)])
+        assert sky.unexpired_entries(100.0) == []
+
+
+class TestIntrospection:
+    def test_layer_buckets_arrival_order(self):
+        # Fig. 2: within each bucket, earliest arrival at the head
+        sky = build([(9, 1), (8, 0), (4, 1), (2, 0)])
+        assert sky.layer_buckets() == {0: [2, 8], 1: [4, 9]}
+
+    def test_layer_cardinalities(self):
+        sky = build([(9, 1), (8, 0), (4, 1)])
+        assert sky.layer_cardinalities() == {0: 1, 1: 2}
+
+    def test_entries_iteration(self):
+        sky = build([(9, 1), (8, 0)])
+        assert list(sky.entries()) == [(9, 9.0, 1), (8, 8.0, 0)]

@@ -1,0 +1,94 @@
+"""Unit tests for the multi-attribute divide-and-conquer extension."""
+
+import pytest
+
+from repro import (
+    MultiAttributeDetector,
+    MultiAttributeSOP,
+    NaiveDetector,
+    OutlierQuery,
+    QueryGroup,
+    WindowSpec,
+    compare_outputs,
+    make_synthetic_points,
+    partition_by_attributes,
+)
+
+
+def q(r, k, win, slide, attrs=None):
+    return OutlierQuery(r=float(r), k=k,
+                        window=WindowSpec(win=win, slide=slide),
+                        attributes=attrs)
+
+
+@pytest.fixture(scope="module")
+def stream3d():
+    return make_synthetic_points(700, dim=3, outlier_rate=0.04, seed=21)
+
+
+MIXED = [
+    q(300, 4, 200, 50, attrs=(0, 1)),
+    q(500, 6, 300, 100, attrs=(2,)),
+    q(800, 5, 250, 50, attrs=(0, 1)),
+    q(400, 3, 150, 50),            # all attributes
+]
+
+
+class TestPartitioning:
+    def test_partition_by_attributes(self):
+        parts = partition_by_attributes(MIXED)
+        assert parts[(0, 1)] == [0, 2]
+        assert parts[(2,)] == [1]
+        assert parts[None] == [3]
+
+    def test_partitions_property(self):
+        det = MultiAttributeSOP(MIXED)
+        assert det.partitions == 3
+
+    def test_name_reflects_inner_detector(self):
+        assert "sop" in MultiAttributeSOP(MIXED).name
+        assert "naive" in MultiAttributeDetector(
+            MIXED, factory=NaiveDetector).name
+
+
+class TestEquivalence:
+    def test_sop_vs_naive_per_partition(self, stream3d):
+        expected = MultiAttributeDetector(MIXED, factory=NaiveDetector
+                                          ).run(stream3d)
+        actual = MultiAttributeSOP(MIXED).run(stream3d)
+        diffs = compare_outputs(expected.outputs, actual.outputs)
+        assert not diffs, "\n".join(diffs)
+
+    def test_homogeneous_partition_equals_plain_group(self, stream3d):
+        """With a single attribute set, the wrapper matches a direct run."""
+        queries = [q(300, 4, 200, 50), q(800, 6, 300, 100)]
+        wrapper = MultiAttributeSOP(queries).run(stream3d)
+        from repro import SOPDetector
+        direct = SOPDetector(QueryGroup(queries)).run(stream3d)
+        assert not compare_outputs(direct.outputs, wrapper.outputs)
+
+    def test_projection_actually_changes_results(self, stream3d):
+        """Sanity: a projected query sees different geometry than the full
+        space (otherwise Fig. 10(b) would be testing nothing)."""
+        full = MultiAttributeSOP([q(500, 5, 200, 50)]).run(stream3d)
+        proj = MultiAttributeSOP([q(500, 5, 200, 50, attrs=(0,))]
+                                 ).run(stream3d)
+        assert any(full.outputs[key] != proj.outputs[key]
+                   for key in full.outputs)
+
+
+class TestAccounting:
+    def test_memory_sums_partitions(self, stream3d):
+        det = MultiAttributeSOP(MIXED)
+        det.run(stream3d)
+        assert det.memory_units() == sum(
+            sub.memory_units() for _, _, sub in det._partitions)
+
+    def test_tracked_points_sum(self, stream3d):
+        det = MultiAttributeSOP(MIXED)
+        det.run(stream3d)
+        assert det.tracked_points() > 0
+
+    def test_mixed_group_rejected_by_plain_querygroup(self):
+        with pytest.raises(ValueError, match="multi_attr"):
+            QueryGroup(MIXED)

@@ -1,0 +1,77 @@
+"""Unit tests for the brute-force oracle itself (verified by hand)."""
+
+import pytest
+
+from repro import (
+    NaiveDetector,
+    OutlierQuery,
+    QueryGroup,
+    WindowSpec,
+    brute_force_outliers,
+    euclidean,
+    manhattan,
+)
+
+from conftest import line_points
+
+
+class TestBruteForce:
+    def test_hand_computed_case(self):
+        # values 0, 0.5, 3, 10; r=1: pairs (0,1) are mutual neighbors
+        pts = line_points([0.0, 0.5, 3.0, 10.0])
+        out = brute_force_outliers(pts, r=1.0, k=1, metric=euclidean)
+        assert out == frozenset({2, 3})
+
+    def test_k_larger_than_population(self):
+        pts = line_points([0.0, 0.0])
+        assert brute_force_outliers(pts, 1.0, 5, euclidean) == frozenset({0, 1})
+
+    def test_self_not_counted_as_neighbor(self):
+        pts = line_points([0.0])
+        assert brute_force_outliers(pts, 1.0, 1, euclidean) == frozenset({0})
+
+    def test_boundary_distance_is_neighbor(self):
+        # Def. 1 uses dist <= r
+        pts = line_points([0.0, 1.0])
+        assert brute_force_outliers(pts, 1.0, 1, euclidean) == frozenset()
+
+    def test_empty_population(self):
+        assert brute_force_outliers([], 1.0, 1, euclidean) == frozenset()
+
+    def test_respects_metric(self):
+        from repro import Point
+        pts = [Point(seq=0, values=(0.0, 0.0)), Point(seq=1, values=(1.0, 1.0))]
+        # euclidean distance sqrt(2) > 1.3, manhattan 2 > 1.3
+        assert brute_force_outliers(pts, 1.3, 1, manhattan) == \
+            frozenset({0, 1})
+        assert brute_force_outliers(pts, 1.5, 1, euclidean) == frozenset()
+
+
+class TestNaiveDetector:
+    def test_windows_and_boundaries(self):
+        g = QueryGroup([OutlierQuery(r=1.0, k=1,
+                                     window=WindowSpec(win=4, slide=2))])
+        # seqs 0..7: values alternate near/far
+        pts = line_points([0.0, 0.1, 9.0, 0.2, 0.3, 50.0, 0.4, 0.5])
+        res = NaiveDetector(g).run(pts)
+        # t=2 window [0,2): both close -> no outliers
+        assert res.outputs[(0, 2)] == frozenset()
+        # t=4 window [0,4): seq 2 at 9.0 is isolated
+        assert res.outputs[(0, 4)] == frozenset({2})
+        # t=6 window [2,6): 9.0 isolated, 50.0 isolated
+        assert res.outputs[(0, 6)] == frozenset({2, 5})
+
+    def test_memory_units_track_window(self):
+        g = QueryGroup([OutlierQuery(r=1.0, k=1,
+                                     window=WindowSpec(win=4, slide=2))])
+        det = NaiveDetector(g)
+        det.run(line_points([0.0] * 20))
+        assert det.memory_units() <= 4
+
+    def test_partial_warmup_window(self):
+        g = QueryGroup([OutlierQuery(r=1.0, k=3,
+                                     window=WindowSpec(win=100, slide=2))])
+        pts = line_points([0.0, 0.1])
+        res = NaiveDetector(g).run(pts)
+        # only 2 points: neither can have 3 neighbors
+        assert res.outputs[(0, 2)] == frozenset({0, 1})

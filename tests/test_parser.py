@@ -1,0 +1,117 @@
+"""Unit tests for the query parser, RGrid (Def. 4), and Def. 6 tables."""
+
+import numpy as np
+import pytest
+
+from repro import OutlierQuery, QueryGroup, RGrid, WindowSpec, parse_workload
+
+
+def q(r, k, win=100, slide=10):
+    return OutlierQuery(r=r, k=k, window=WindowSpec(win=win, slide=slide))
+
+
+class TestRGrid:
+    def test_dedup_and_sort(self):
+        grid = RGrid([3.0, 1.0, 3.0, 2.0])
+        assert grid.values == (1.0, 2.0, 3.0)
+        assert len(grid) == 3
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            RGrid([])
+        with pytest.raises(ValueError):
+            RGrid([0.0, 1.0])
+
+    def test_layer_of_def4(self):
+        # Def. 4 with grid (1, 2, 3): d in (r_m, r_{m+1}] -> layer m+1;
+        # 0-based here, so d <= 1 -> 0, 1 < d <= 2 -> 1, etc.
+        grid = RGrid([1.0, 2.0, 3.0])
+        assert grid.layer_of(0.5) == 0
+        assert grid.layer_of(1.0) == 0   # boundary d == r is a neighbor
+        assert grid.layer_of(1.5) == 1
+        assert grid.layer_of(2.0) == 1
+        assert grid.layer_of(3.0) == 2
+
+    def test_beyond_sentinel(self):
+        grid = RGrid([1.0, 2.0])
+        assert grid.layer_of(2.0001) == grid.beyond == 2
+
+    def test_layers_of_vectorized_matches_scalar(self):
+        grid = RGrid([1.0, 2.5, 7.0])
+        d = np.asarray([0.0, 1.0, 1.1, 2.5, 3.0, 7.0, 7.1])
+        vec = grid.layers_of(d)
+        assert list(vec) == [grid.layer_of(x) for x in d]
+
+    def test_layer_of_r_exact(self):
+        grid = RGrid([1.0, 2.0, 4.0])
+        assert grid.layer_of_r(2.0) == 1
+
+    def test_layer_of_r_rejects_non_grid_value(self):
+        with pytest.raises(ValueError):
+            RGrid([1.0, 2.0]).layer_of_r(1.5)
+
+    def test_radius_of_layer_roundtrip(self):
+        grid = RGrid([1.0, 2.0, 4.0])
+        assert grid.radius_of_layer(grid.layer_of_r(4.0)) == 4.0
+
+
+class TestSkybandPlan:
+    def test_subgroups_sorted_by_k(self):
+        plan = parse_workload(QueryGroup([q(5, 3), q(1, 1), q(2, 3)]))
+        assert plan.k_list == (1, 3)
+        assert plan.k_max == 3
+
+    def test_subgroup_layers(self):
+        plan = parse_workload(QueryGroup([q(5, 3), q(1, 3), q(2, 1)]))
+        # grid = (1, 2, 5); subgroup k=3 has layers {2, 0}
+        sg3 = [sg for sg in plan.subgroups if sg.k == 3][0]
+        assert sg3.min_layer == 0 and sg3.max_layer == 2
+
+    def test_query_layers_aligned(self):
+        group = QueryGroup([q(5, 3), q(1, 3), q(2, 1)])
+        plan = parse_workload(group)
+        assert plan.query_layers == (2, 0, 1)
+
+    def test_query_subgroup_mapping(self):
+        group = QueryGroup([q(5, 3), q(1, 1), q(2, 3)])
+        plan = parse_workload(group)
+        ks = [plan.subgroups[j].k for j in plan.query_subgroup]
+        assert ks == [3, 1, 3]
+
+    def test_allowed_layer_def6(self):
+        # Example 3's workload: QG1 = k=2 over r {1,3,4}; QG2 = k=3 over
+        # r {2,3,4}.  Grid = (1,2,3,4) -> layers 0..3.
+        group = QueryGroup([
+            q(1, 2), q(3, 2), q(4, 2),
+            q(2, 3), q(3, 3), q(4, 3),
+        ])
+        plan = parse_workload(group)
+        # dominator count 0 or 1: both subgroups (k=2, k=3) still reachable
+        # -> max over their max layers = 3
+        assert plan.allowed_layer[0] == 3
+        assert plan.allowed_layer[1] == 3
+        # dominator count 2: only k=3 remains -> its max layer 3
+        assert plan.allowed_layer[2] == 3
+
+    def test_allowed_layer_shrinks_with_small_high_k_reach(self):
+        # high-k subgroup only covers small r: points far out that are
+        # already dominated by the low k are useless (Def. 6 cond. 3)
+        group = QueryGroup([q(10, 2), q(1, 5)])
+        plan = parse_workload(group)
+        # grid (1, 10): c=0,1 -> k=2 and k=5 reachable, max layer = 1
+        assert plan.allowed_layer[0] == 1
+        assert plan.allowed_layer[1] == 1
+        # c in {2,3,4}: only k=5 reachable, its max layer = layer(1) = 0
+        assert plan.allowed_layer[2] == 0
+        assert plan.allowed_layer[3] == 0
+        assert plan.allowed_layer[4] == 0
+
+    def test_swift_from_group(self):
+        plan = parse_workload(QueryGroup([
+            q(1, 1, win=100, slide=20), q(2, 1, win=400, slide=30)]))
+        assert plan.swift.win == 400 and plan.swift.slide == 10
+
+    def test_describe_mentions_counts(self):
+        plan = parse_workload(QueryGroup([q(1, 1), q(2, 4)]))
+        text = plan.describe()
+        assert "2 queries" in text and "k_max=4" in text

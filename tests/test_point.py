@@ -1,0 +1,131 @@
+"""Unit tests for the point model and distance metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistanceMetric,
+    Point,
+    available_metrics,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    points_from_array,
+    register_metric,
+)
+
+
+class TestPoint:
+    def test_time_defaults_to_seq(self):
+        p = Point(seq=7, values=(1.0, 2.0))
+        assert p.time == 7.0
+
+    def test_explicit_time_kept(self):
+        p = Point(seq=7, values=(1.0,), time=3.5)
+        assert p.time == 3.5
+
+    def test_values_coerced_to_tuple(self):
+        p = Point(seq=0, values=[1, 2, 3])
+        assert p.values == (1.0, 2.0, 3.0)
+        assert isinstance(p.values, tuple)
+
+    def test_dim(self):
+        assert Point(seq=0, values=(1.0, 2.0, 3.0)).dim == 3
+
+    def test_hashable_and_frozen(self):
+        p = Point(seq=1, values=(0.0,))
+        assert p in {p}
+        with pytest.raises(AttributeError):
+            p.seq = 2
+
+    def test_project_keeps_identity(self):
+        p = Point(seq=5, values=(1.0, 2.0, 3.0), time=9.0)
+        q = p.project([2, 0])
+        assert q.values == (3.0, 1.0)
+        assert q.seq == 5 and q.time == 9.0
+
+    def test_equality_by_fields(self):
+        assert Point(seq=1, values=(2.0,)) == Point(seq=1, values=(2.0,))
+        assert Point(seq=1, values=(2.0,)) != Point(seq=2, values=(2.0,))
+
+
+class TestMetrics:
+    def test_euclidean_scalar(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan_scalar(self):
+        assert manhattan((0, 0), (3, 4)) == pytest.approx(7.0)
+
+    def test_chebyshev_scalar(self):
+        assert chebyshev((0, 0), (3, 4)) == pytest.approx(4.0)
+
+    def test_between_points(self):
+        a = Point(seq=0, values=(0.0, 0.0))
+        b = Point(seq=1, values=(3.0, 4.0))
+        assert euclidean.between_points(a, b) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("metric", [euclidean, manhattan, chebyshev])
+    def test_block_matches_scalar(self, metric, rng):
+        q = rng.normal(size=3)
+        block = rng.normal(size=(20, 3))
+        vec = metric.to_block(q, block)
+        for i in range(20):
+            assert vec[i] == pytest.approx(metric(q, block[i]))
+
+    def test_block_empty(self):
+        out = euclidean.to_block(np.zeros(2), np.empty((0, 2)))
+        assert out.shape == (0,)
+
+    def test_get_metric_by_name(self):
+        assert get_metric("manhattan") is manhattan
+
+    def test_get_metric_passthrough(self):
+        assert get_metric(euclidean) is euclidean
+
+    def test_get_metric_unknown(self):
+        with pytest.raises(KeyError, match="unknown distance metric"):
+            get_metric("cosine")
+
+    def test_register_custom_metric(self):
+        halved = DistanceMetric(
+            "halved",
+            lambda a, b: euclidean(a, b) / 2,
+            lambda q, b: euclidean.to_block(q, b) / 2,
+        )
+        register_metric(halved)
+        assert "halved" in available_metrics()
+        assert get_metric("halved")((0, 0), (6, 8)) == pytest.approx(5.0)
+
+    def test_register_rejects_non_metric(self):
+        with pytest.raises(TypeError):
+            register_metric(lambda a, b: 0)
+
+
+class TestPointsFromArray:
+    def test_basic(self):
+        pts = points_from_array([[1, 2], [3, 4]])
+        assert [p.seq for p in pts] == [0, 1]
+        assert pts[1].values == (3.0, 4.0)
+
+    def test_start_seq(self):
+        pts = points_from_array([[1]], start_seq=10)
+        assert pts[0].seq == 10
+
+    def test_with_times(self):
+        pts = points_from_array([[1], [2]], times=[0.5, 1.5])
+        assert [p.time for p in pts] == [0.5, 1.5]
+
+    def test_times_length_mismatch(self):
+        with pytest.raises(ValueError, match="times has"):
+            points_from_array([[1], [2]], times=[0.5])
+
+    def test_times_must_be_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            points_from_array([[1], [2]], times=[2.0, 1.0])
+
+    def test_numpy_input(self):
+        pts = points_from_array(np.arange(6).reshape(3, 2))
+        assert pts[2].values == (4.0, 5.0)

@@ -1,0 +1,308 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These generate random streams and workloads and assert the properties the
+paper proves:
+
+* Lemma 1 (sufficiency): SOP's answers equal brute force for every query
+  at every boundary;
+* LSky structural invariants (descending time, dominator bound);
+* safe-inlier soundness (a point marked fully safe is never reported);
+* schedule arithmetic (every member boundary is a swift boundary).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    KSkyRunner,
+    NaiveDetector,
+    OutlierQuery,
+    Point,
+    QueryGroup,
+    SOPDetector,
+    SwiftSchedule,
+    WindowBuffer,
+    WindowSpec,
+    compare_outputs,
+    euclidean,
+    parse_workload,
+)
+from repro.core.evaluator import is_fully_safe, safe_min_layers
+
+# ---------------------------------------------------------------- strategies
+
+values_1d = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=8, max_size=120,
+)
+
+query_params = st.tuples(
+    st.floats(min_value=0.1, max_value=8.0),   # r
+    st.integers(min_value=1, max_value=6),     # k
+    st.integers(min_value=2, max_value=12),    # win/4 (scaled below)
+    st.integers(min_value=1, max_value=4),     # slide/4
+)
+
+workloads = st.lists(query_params, min_size=1, max_size=5)
+
+
+def build_group(params):
+    queries = []
+    for r, k, win4, slide4 in params:
+        win, slide = win4 * 4, slide4 * 4
+        queries.append(OutlierQuery(
+            r=round(float(r), 3), k=k,
+            window=WindowSpec(win=win, slide=min(slide, win)),
+        ))
+    return QueryGroup(queries)
+
+
+def build_points(values):
+    return [Point(seq=i, values=(float(v),)) for i, v in enumerate(values)]
+
+
+# ------------------------------------------------------------------- lemma 1
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=values_1d, params=workloads)
+def test_sop_equals_brute_force(values, params):
+    group = build_group(params)
+    pts = build_points(values)
+    expected = NaiveDetector(group).run(pts)
+    actual = SOPDetector(group).run(pts)
+    diffs = compare_outputs(expected.outputs, actual.outputs)
+    assert not diffs, "\n".join(diffs)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=values_1d, params=workloads,
+       flags=st.tuples(st.booleans(), st.booleans(), st.booleans()))
+def test_sop_ablations_equal_brute_force(values, params, flags):
+    eager, safe, least = flags
+    group = build_group(params)
+    pts = build_points(values)
+    expected = NaiveDetector(group).run(pts)
+    actual = SOPDetector(group, eager=eager, use_safe_inliers=safe,
+                         use_least_examination=least).run(pts)
+    assert not compare_outputs(expected.outputs, actual.outputs)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=values_1d, params=workloads)
+def test_mcod_equals_brute_force(values, params):
+    from repro import MCODDetector
+    group = build_group(params)
+    pts = build_points(values)
+    expected = NaiveDetector(group).run(pts)
+    actual = MCODDetector(group).run(pts)
+    assert not compare_outputs(expected.outputs, actual.outputs)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=values_1d, params=workloads)
+def test_leap_equals_brute_force(values, params):
+    from repro import LEAPDetector
+    group = build_group(params)
+    pts = build_points(values)
+    expected = NaiveDetector(group).run(pts)
+    actual = LEAPDetector(group).run(pts)
+    assert not compare_outputs(expected.outputs, actual.outputs)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=values_1d, params=workloads,
+       split=st.integers(min_value=1, max_value=6))
+def test_dynamic_detector_matches_static(values, params, split):
+    """Adding all queries up front through the dynamic wrapper is
+    indistinguishable from a static detector."""
+    from repro import DynamicSOPDetector
+    from repro.streams.source import batches_by_boundary
+
+    group = build_group(params)
+    pts = build_points(values)
+    static = SOPDetector(group).run(pts)
+    dyn = DynamicSOPDetector(list(group.queries))
+    outputs = {}
+    for t, batch in batches_by_boundary(pts, dyn.swift.slide, group.kind):
+        for h, seqs in dyn.step(t, batch).items():
+            outputs[(h, t)] = seqs
+    assert not compare_outputs(static.outputs, outputs)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+              st.floats(min_value=0.0, max_value=5.0, allow_nan=False)),
+    min_size=8, max_size=60),
+    params=workloads)
+def test_time_based_windows_equal_brute_force(rows, params):
+    """Detector equivalence holds for time-based windows with irregular
+    inter-arrival gaps (including simultaneous timestamps)."""
+    values = [v for v, _ in rows]
+    gaps = [g for _, g in rows]
+    times, now = [], 0.0
+    for g in gaps:
+        now += g
+        times.append(now)
+    pts = [Point(seq=i, values=(float(v),), time=t)
+           for i, (v, t) in enumerate(zip(values, times))]
+    queries = [q.replace(kind="time") for q in build_group(params).queries]
+    group = QueryGroup(queries)
+    expected = NaiveDetector(group).run(pts)
+    actual = SOPDetector(group).run(pts)
+    assert not compare_outputs(expected.outputs, actual.outputs)
+
+
+# ------------------------------------------------------------ LSky invariants
+
+@settings(max_examples=60, deadline=None)
+@given(values=values_1d, params=workloads,
+       probe=st.floats(min_value=0.0, max_value=10.0))
+def test_lsky_invariants(values, params, probe):
+    group = build_group(params)
+    plan = parse_workload(group)
+    buf = WindowBuffer(euclidean)
+    buf.extend(build_points(values))
+    result = KSkyRunner(plan).run_new_point((float(probe),), -1, buf)
+    sky = result.lsky
+    # strictly descending arrival order
+    assert all(a > b for a, b in zip(sky.seqs, sky.seqs[1:]))
+    # layers within the grid
+    assert all(0 <= m < plan.n_layers for m in sky.layers)
+    # replaying insertions never exceeds k_max dominators
+    from repro.core.lsky import LSky
+    replay = LSky(plan.n_layers)
+    for seq, pos, layer in sky.entries():
+        assert replay.dominator_count(layer) < plan.k_max
+        replay.insert(seq, pos, layer)
+    # examined count never exceeds the population
+    assert result.examined <= len(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=values_1d, params=workloads,
+       probe=st.floats(min_value=0.0, max_value=10.0))
+def test_ksky_sufficiency_per_query(values, params, probe):
+    """Lemma 1 sufficiency, windowed: for every member query and every
+    window suffix, the skyband's capped neighbor count equals the true
+    capped count.  (The raw skyband may hold *less* than the k_max nearest
+    neighbors: K-SKY stops as soon as every sub-group is resolved --
+    Example 3 terminates before p1 -- so sufficiency is per query, not per
+    kNN set.)
+    """
+    group = build_group(params)
+    plan = parse_workload(group)
+    buf = WindowBuffer(euclidean)
+    pts = build_points(values)
+    buf.extend(pts)
+    result = KSkyRunner(plan).run_new_point((float(probe),), -1, buf)
+    for qi, q in enumerate(group):
+        m_q = plan.query_layers[qi]
+        for ws in (0.0, len(values) / 3, 2 * len(values) / 3):
+            true_count = sum(
+                1 for p in pts
+                if p.seq >= ws
+                and plan.grid.layer_of(abs(p.values[0] - probe)) <= m_q
+            )
+            sky_count = result.lsky.count_within(m_q, ws, q.k)
+            assert min(q.k, sky_count) == min(q.k, true_count)
+
+
+# ----------------------------------------------------------- safe inliers
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=values_1d, params=workloads)
+def test_fully_safe_points_never_reported(values, params):
+    group = build_group(params)
+    pts = build_points(values)
+    det = SOPDetector(group)
+    safe_at = {}  # seq -> boundary when marked safe
+    reported_after_safe = []
+    from repro.streams.source import batches_by_boundary
+    for t, batch in batches_by_boundary(pts, det.swift.slide, group.kind):
+        out = det.step(t, batch)
+        for p in det.buffer.points:
+            st_ = det.state_of(p.seq)
+            if st_ is not None and st_.fully_safe and p.seq not in safe_at:
+                safe_at[p.seq] = t
+        for qi, seqs in out.items():
+            for s in seqs:
+                if s in safe_at and safe_at[s] < t:
+                    reported_after_safe.append((s, qi, t))
+    assert not reported_after_safe
+
+
+# ------------------------------------------------------------ persistence
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.lists(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+             min_size=2, max_size=2),
+    min_size=1, max_size=30))
+def test_points_csv_roundtrip_exact(rows, tmp_path_factory):
+    from repro import load_points_csv, points_from_array, save_points_csv
+    path = tmp_path_factory.mktemp("csv") / "pts.csv"
+    pts = points_from_array(rows)
+    save_points_csv(pts, path)
+    assert load_points_csv(path) == pts
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=workloads)
+def test_workload_json_roundtrip_exact(params, tmp_path_factory):
+    from repro import load_workload, save_workload
+    path = tmp_path_factory.mktemp("wl") / "wl.json"
+    queries = list(build_group(params).queries)
+    save_workload(queries, path)
+    assert load_workload(path) == queries
+
+
+# ------------------------------------------------------------- schedules
+
+@settings(max_examples=80, deadline=None)
+@given(slides=st.lists(st.integers(min_value=1, max_value=40), min_size=1,
+                       max_size=6),
+       wins=st.lists(st.integers(min_value=40, max_value=200), min_size=1,
+                     max_size=6))
+def test_swift_schedule_covers_members(slides, wins):
+    n = min(len(slides), len(wins))
+    specs = [WindowSpec(win=w, slide=min(s, w))
+             for w, s in zip(wins[:n], slides[:n])]
+    sched = SwiftSchedule(specs)
+    assert sched.win == max(sp.win for sp in specs)
+    for sp in specs:
+        assert sp.slide % sched.slide == 0
+    swift_boundaries = set(sched.boundaries(800))
+    for sp in specs:
+        assert set(sp.boundaries(800)) <= swift_boundaries
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values_1d)
+def test_naive_outlier_monotone_in_r(values):
+    """With fixed k, a larger radius can only shrink the outlier set."""
+    from repro import brute_force_outliers
+    pts = build_points(values)
+    small = brute_force_outliers(pts, 0.5, 2, euclidean)
+    large = brute_force_outliers(pts, 2.0, 2, euclidean)
+    assert large <= small
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values_1d)
+def test_naive_outlier_monotone_in_k(values):
+    """With fixed r, a larger k can only grow the outlier set."""
+    from repro import brute_force_outliers
+    pts = build_points(values)
+    low = brute_force_outliers(pts, 1.0, 1, euclidean)
+    high = brute_force_outliers(pts, 1.0, 4, euclidean)
+    assert low <= high

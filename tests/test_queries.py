@@ -1,0 +1,120 @@
+"""Unit tests for the outlier query model and query groups."""
+
+import pytest
+
+from repro import COUNT, TIME, OutlierQuery, QueryGroup, WindowSpec
+
+
+def q(r=100.0, k=3, win=100, slide=10, kind=COUNT, **kw):
+    return OutlierQuery(r=r, k=k, window=WindowSpec(win=win, slide=slide,
+                                                    kind=kind), **kw)
+
+
+class TestOutlierQueryValidation:
+    def test_valid(self):
+        query = q()
+        assert query.r == 100.0 and query.k == 3
+
+    @pytest.mark.parametrize("bad_k", [0, -2])
+    def test_k_positive(self, bad_k):
+        with pytest.raises(ValueError):
+            q(k=bad_k)
+
+    @pytest.mark.parametrize("bad_k", [2.5, True])
+    def test_k_int(self, bad_k):
+        with pytest.raises(TypeError):
+            q(k=bad_k)
+
+    @pytest.mark.parametrize("bad_r", [0, -1.0])
+    def test_r_positive(self, bad_r):
+        with pytest.raises(ValueError):
+            q(r=bad_r)
+
+    def test_r_coerced_to_float(self):
+        assert isinstance(q(r=5).r, float)
+
+    def test_window_type_checked(self):
+        with pytest.raises(TypeError):
+            OutlierQuery(r=1.0, k=1, window=(100, 10))
+
+    def test_attributes_deduplicated_check(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            q(attributes=(0, 0))
+
+    def test_attributes_nonnegative(self):
+        with pytest.raises(ValueError):
+            q(attributes=(-1,))
+
+    def test_default_name(self):
+        assert q(r=2.5, k=7, win=50, slide=5).name == \
+            "q(r=2.5,k=7,win=50,slide=5)"
+
+    def test_custom_name_kept(self):
+        assert q(name="fraud-fast").name == "fraud-fast"
+
+    def test_accessors(self):
+        query = q(win=80, slide=20, kind=TIME)
+        assert (query.win, query.slide, query.kind) == (80, 20, TIME)
+
+    def test_replace_pattern_params(self):
+        query = q(r=10, k=2).replace(r=20.0)
+        assert query.r == 20.0 and query.k == 2
+
+    def test_replace_window_params(self):
+        query = q(win=100, slide=10).replace(win=200, slide=25)
+        assert query.win == 200 and query.slide == 25
+
+    def test_replace_regenerates_name(self):
+        assert "r=9" in q(r=3).replace(r=9.0).name
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            q().k = 5
+
+
+class TestQueryGroup:
+    def test_requires_queries(self):
+        with pytest.raises(ValueError):
+            QueryGroup([])
+
+    def test_kind_homogeneous(self):
+        with pytest.raises(ValueError, match="window kind"):
+            QueryGroup([q(kind=COUNT), q(kind=TIME)])
+
+    def test_attribute_homogeneous(self):
+        with pytest.raises(ValueError, match="attribute"):
+            QueryGroup([q(attributes=(0,)), q(attributes=(1,))])
+
+    def test_container_protocol(self):
+        g = QueryGroup([q(r=1), q(r=2)])
+        assert len(g) == 2
+        assert g[1].r == 2.0
+        assert [m.r for m in g] == [1.0, 2.0]
+
+    def test_r_grid_sorted_unique(self):
+        g = QueryGroup([q(r=5), q(r=1), q(r=5), q(r=3)])
+        assert g.r_grid == (1.0, 3.0, 5.0)
+
+    def test_k_values_and_k_max(self):
+        g = QueryGroup([q(k=7), q(k=2), q(k=7)])
+        assert g.k_values == (2, 7) and g.k_max == 7
+
+    def test_r_min_max(self):
+        g = QueryGroup([q(r=4), q(r=9)])
+        assert (g.r_min, g.r_max) == (4.0, 9.0)
+
+    def test_subgroups_by_k_sorted(self):
+        g = QueryGroup([q(k=5, r=1), q(k=2, r=2), q(k=5, r=3)])
+        subs = g.subgroups_by_k()
+        assert list(subs) == [2, 5]
+        assert subs[5] == [0, 2]
+
+    def test_swift_schedule_derived(self):
+        g = QueryGroup([q(win=100, slide=20), q(win=300, slide=50)])
+        assert g.swift.win == 300 and g.swift.slide == 10
+
+    def test_due_members(self):
+        g = QueryGroup([q(slide=20), q(slide=30)])
+        assert g.due_members(60) == [0, 1]
+        assert g.due_members(20) == [0]
+        assert g.due_members(10) == []

@@ -1,0 +1,115 @@
+"""Unit tests for stream/result persistence (CSV / JSONL round-trips)."""
+
+import pytest
+
+from repro import (
+    StockTradeSimulator,
+    load_points_csv,
+    load_results_jsonl,
+    load_trades_csv,
+    make_stock_points,
+    make_synthetic_points,
+    save_points_csv,
+    save_results_jsonl,
+    save_trades_csv,
+)
+
+from conftest import line_points
+
+
+class TestPointsCsv:
+    def test_roundtrip_exact(self, tmp_path):
+        pts = make_synthetic_points(200, dim=3, seed=4)
+        path = tmp_path / "pts.csv"
+        assert save_points_csv(pts, path) == 200
+        assert load_points_csv(path) == pts
+
+    def test_roundtrip_preserves_times(self, tmp_path):
+        pts = line_points([1.5, 2.5], times=[0.25, 7.75])
+        path = tmp_path / "pts.csv"
+        save_points_csv(pts, path)
+        loaded = load_points_csv(path)
+        assert [p.time for p in loaded] == [0.25, 7.75]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_points_csv([], tmp_path / "x.csv")
+
+    def test_mixed_dims_rejected(self, tmp_path):
+        from repro import Point
+        pts = [Point(seq=0, values=(1.0,)), Point(seq=1, values=(1.0, 2.0))]
+        with pytest.raises(ValueError, match="dim"):
+            save_points_csv(pts, tmp_path / "x.csv")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_points_csv(path)
+
+    def test_no_attribute_columns_rejected(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("seq,time\n0,0.0\n")
+        with pytest.raises(ValueError, match="attribute"):
+            load_points_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("seq,time,v0\n0,0.0,1.0\n1,1.0\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_points_csv(path)
+
+    def test_non_increasing_seq_rejected(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("seq,time,v0\n5,0.0,1.0\n5,1.0,2.0\n")
+        with pytest.raises(ValueError, match="strictly increase"):
+            load_points_csv(path)
+
+
+class TestTradesCsv:
+    def test_roundtrip(self, tmp_path):
+        recs = list(StockTradeSimulator(n_trades=150, seed=2).records())
+        path = tmp_path / "trades.csv"
+        assert save_trades_csv(recs, path) == 150
+        assert list(load_trades_csv(path)) == recs
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_trades_csv([], tmp_path / "t.csv")
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trades_csv(path)
+
+
+class TestResultsJsonl:
+    def test_roundtrip(self, tmp_path):
+        outputs = {
+            (0, 10): frozenset({3, 1}),
+            (1, 10): frozenset(),
+            (0, 20): frozenset({9}),
+        }
+        path = tmp_path / "res.jsonl"
+        assert save_results_jsonl(outputs, path) == 3
+        assert load_results_jsonl(path) == outputs
+
+    def test_detector_outputs_roundtrip(self, tmp_path, small_stream,
+                                        small_group):
+        from repro import SOPDetector, compare_outputs
+        res = SOPDetector(small_group).run(small_stream)
+        path = tmp_path / "res.jsonl"
+        save_results_jsonl(res.outputs, path)
+        assert not compare_outputs(res.outputs, load_results_jsonl(path))
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "res.jsonl"
+        path.write_text('{"query": 0}\n')
+        with pytest.raises(ValueError, match="malformed"):
+            load_results_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "res.jsonl"
+        path.write_text('\n{"query": 0, "boundary": 5, "outliers": [1]}\n\n')
+        assert load_results_jsonl(path) == {(0, 5): frozenset({1})}

@@ -1,0 +1,81 @@
+"""Unit tests for the experiment runner and report formatting."""
+
+import pytest
+
+from repro import NaiveDetector, SOPDetector, make_synthetic_points
+from repro.bench import (
+    AlgoSpec,
+    DEFAULT_ALGOS,
+    ScaledRanges,
+    build_workload,
+    format_ranges,
+    format_series,
+    format_table,
+    run_series,
+)
+
+RANGES = ScaledRanges(
+    r=(200.0, 1500.0), k=(2, 6), win=(60, 160), slide=(20, 80),
+    slide_quantum=20, fixed_r=500.0, fixed_k=3, fixed_win=100,
+    fixed_slide=20,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    pts = make_synthetic_points(500, seed=8)
+    return run_series(
+        "Fig X", pts, [2, 4],
+        lambda n: build_workload("C", n, seed=n, ranges=RANGES),
+        [AlgoSpec("sop", SOPDetector),
+         AlgoSpec("naive", NaiveDetector, max_queries=2)],
+    )
+
+
+class TestRunSeries:
+    def test_all_cells_present(self, series):
+        assert series.sizes == [2, 4]
+        assert set(series.runs) == {"sop", "naive"}
+
+    def test_cap_skips_large_sizes(self, series):
+        assert series.runs["naive"][0] is not None
+        assert series.runs["naive"][1] is None
+
+    def test_metric_accessors(self, series):
+        cpu = series.cpu_ms("sop")
+        assert len(cpu) == 2 and all(c is not None and c >= 0 for c in cpu)
+        assert series.memory_units("naive")[1] is None
+        assert series.memory_kb("sop")[0] > 0
+
+    def test_speedup_over(self, series):
+        sp = series.speedup_over("sop", "naive")
+        assert sp[0] is not None and sp[0] > 0
+        assert sp[1] is None  # naive skipped at size 4
+
+    def test_default_algos_caps(self):
+        algos = DEFAULT_ALGOS(mcod_cap=10, leap_cap=5)
+        by_name = {a.name: a for a in algos}
+        assert by_name["sop"].max_queries is None
+        assert by_name["mcod"].max_queries == 10
+        assert by_name["leap"].max_queries == 5
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table("T", "n", [1, 10], ["a", "b"],
+                            [[1.0, 2.5], [None, 1234.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "(skipped)" in text
+        assert "1,234" in text
+
+    def test_format_series_sections(self, series):
+        text = format_series(series)
+        assert "CPU time per window" in text
+        assert "peak memory" in text
+        assert "CPU speedup of sop" in text
+        assert "vs naive" in text
+
+    def test_format_ranges_lists_table2_shape(self):
+        text = format_ranges(RANGES)
+        assert "K in [2, 6)" in text and "fixed" in text

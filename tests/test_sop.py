@@ -1,0 +1,151 @@
+"""SOP detector behaviour: end-to-end runs, sharing, safe-inlier pruning."""
+
+import pytest
+
+from repro import (
+    NaiveDetector,
+    OutlierQuery,
+    Point,
+    QueryGroup,
+    SOPDetector,
+    WindowSpec,
+    compare_outputs,
+    make_synthetic_points,
+)
+
+from conftest import assert_equivalent, line_points
+
+
+def group_of(*params, kind="count"):
+    return QueryGroup([
+        OutlierQuery(r=float(r), k=k,
+                     window=WindowSpec(win=w, slide=s, kind=kind))
+        for r, k, w, s in params
+    ])
+
+
+class TestEndToEnd:
+    def test_single_query_equivalence(self, small_stream):
+        g = group_of((400, 5, 200, 50))
+        assert_equivalent(g, small_stream, SOPDetector(g))
+
+    def test_multi_query_equivalence(self, small_stream, small_group):
+        assert_equivalent(small_group, small_stream, SOPDetector(small_group))
+
+    def test_isolated_point_is_outlier_everywhere(self):
+        # one far point among a dense cluster
+        values = [0.0] * 30 + [100.0] + [0.0] * 9
+        g = group_of((1, 3, 40, 10), (50, 3, 20, 10))
+        det = SOPDetector(g)
+        res = det.run(line_points(values))
+        assert 30 in res.outputs[(0, 40)]
+        assert 30 in res.outputs[(1, 40)]
+
+    def test_dense_stream_has_no_outliers(self):
+        g = group_of((1, 3, 40, 20))
+        res = SOPDetector(g).run(line_points([0.0] * 100))
+        assert all(not v for v in res.outputs.values())
+
+    def test_outputs_only_for_due_queries(self):
+        g = group_of((1, 2, 40, 20), (1, 2, 60, 30))
+        res = SOPDetector(g).run(line_points([0.0] * 120))
+        # query 0 due at multiples of 20, query 1 at multiples of 30
+        assert (0, 20) in res.outputs and (1, 20) not in res.outputs
+        assert (1, 30) in res.outputs and (0, 30) not in res.outputs
+
+    def test_status_flips_when_preceding_neighbors_expire(self):
+        # seq 6 has two preceding neighbors (seqs 0, 1); once they expire
+        # it becomes an outlier -- the per-window re-evaluation of Def. 3
+        values = [0.0, 0.1] + [50.0] * 4 + [0.2] + [50.0] * 13
+        g = group_of((1, 2, 10, 5))
+        res = SOPDetector(g).run(line_points(values))
+        assert 6 not in res.outputs[(0, 10)]  # window [0,10): has 0 and 1
+        assert 6 in res.outputs[(0, 15)]      # window [5,15): neighbors gone
+
+
+class TestTimeBasedWindows:
+    def test_equivalence_on_irregular_times(self):
+        times = [0.5, 1.0, 1.1, 4.0, 4.2, 9.5, 9.6, 9.9, 15.0, 18.0,
+                 18.1, 18.2, 25.0, 26.0, 27.5, 31.0, 31.2, 33.3, 40.0, 41.5]
+        values = [0, 1, 0, 9, 9, 0, 1, 2, 5, 0,
+                  0, 1, 7, 7, 7, 0, 0, 1, 3, 3]
+        pts = line_points(values, times=times)
+        g = group_of((1.5, 2, 10, 5), (4.0, 3, 20, 10), kind="time")
+        assert_equivalent(g, pts, SOPDetector(g))
+
+
+class TestSafeInlierPruning:
+    def test_safe_points_drop_evidence(self):
+        g = group_of((1, 2, 40, 10))
+        det = SOPDetector(g)
+        det.run(line_points([0.0] * 100))
+        assert det.stats["fully_safe_marked"] > 0
+        # fully safe points hold no skyband: memory stays tiny
+        assert det.memory_units() < 40
+
+    def test_pruning_reduces_ksky_runs(self):
+        pts = line_points([0.0] * 200)
+        g = group_of((1, 2, 50, 10))
+        with_safe = SOPDetector(g)
+        with_safe.run(pts)
+        without = SOPDetector(g, use_safe_inliers=False)
+        without.run(pts)
+        assert with_safe.stats["ksky_runs"] < without.stats["ksky_runs"]
+
+    def test_disabled_safe_inliers_same_output(self, small_stream,
+                                               small_group):
+        a = SOPDetector(small_group).run(small_stream)
+        b = SOPDetector(small_group, use_safe_inliers=False).run(small_stream)
+        assert not compare_outputs(a.outputs, b.outputs)
+
+
+class TestAblations:
+    @pytest.mark.parametrize("kwargs", [
+        {"eager": False},
+        {"use_least_examination": False},
+        {"eager": False, "use_safe_inliers": False,
+         "use_least_examination": False},
+    ])
+    def test_flags_preserve_output(self, small_stream, small_group, kwargs):
+        base = SOPDetector(small_group).run(small_stream)
+        other = SOPDetector(small_group, **kwargs).run(small_stream)
+        assert not compare_outputs(base.outputs, other.outputs)
+
+    def test_least_examination_examines_fewer_points(self, small_stream,
+                                                     small_group):
+        fast = SOPDetector(small_group)
+        fast.run(small_stream)
+        slow = SOPDetector(small_group, use_least_examination=False)
+        slow.run(small_stream)
+        assert fast.stats["points_examined"] < slow.stats["points_examined"]
+
+    def test_lazy_mode_refreshes_less(self):
+        # slides 40 and 60 -> swift slide 20 with idle boundaries; lazy mode
+        # skips the idle refreshes
+        g = group_of((1, 2, 100, 40), (1, 2, 100, 60))
+        pts = line_points([0.0, 5.0] * 120)
+        eager = SOPDetector(g, use_safe_inliers=False)
+        eager.run(pts)
+        lazy = SOPDetector(g, eager=False, use_safe_inliers=False)
+        lazy.run(pts)
+        assert lazy.stats["ksky_runs"] < eager.stats["ksky_runs"]
+
+
+class TestStateManagement:
+    def test_states_evicted_with_window(self):
+        g = group_of((1, 2, 40, 20))
+        det = SOPDetector(g)
+        det.run(line_points([0.0] * 200))
+        assert det.tracked_points() <= 40
+
+    def test_state_of_exposes_safety(self):
+        g = group_of((1, 2, 40, 20))
+        det = SOPDetector(g)
+        det.run(line_points([0.0] * 60))
+        st = det.state_of(55)
+        assert st is not None and st.fully_safe
+
+    def test_memory_peak_recorded(self, small_stream, small_group):
+        res = SOPDetector(small_group).run(small_stream)
+        assert res.peak_memory_units > 0
+        assert res.peak_memory_kb > 0

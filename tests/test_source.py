@@ -1,0 +1,91 @@
+"""Unit tests for stream sources and boundary batching."""
+
+import pytest
+
+from repro import COUNT, TIME, ListSource, batches_by_boundary
+from repro.streams.source import positions
+
+from conftest import line_points
+
+
+class TestPositions:
+    def test_count_positions_are_seqs(self):
+        pts = line_points([5, 6], times=[0.1, 0.2])
+        assert positions(pts, COUNT) == [0.0, 1.0]
+
+    def test_time_positions_are_times(self):
+        pts = line_points([5, 6], times=[0.1, 0.2])
+        assert positions(pts, TIME) == [0.1, 0.2]
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            positions([], "epoch")
+
+
+class TestListSource:
+    def test_iteration_and_len(self):
+        src = ListSource(line_points([1, 2, 3]))
+        assert len(src) == 3
+        assert [p.seq for p in src] == [0, 1, 2]
+
+    def test_take(self):
+        src = ListSource(line_points(range(10)))
+        assert [p.seq for p in src.take(4)] == [0, 1, 2, 3]
+
+    def test_take_beyond_end(self):
+        src = ListSource(line_points([1]))
+        assert len(src.take(5)) == 1
+
+
+class TestBatchesByBoundary:
+    def test_count_based_batching(self):
+        pts = line_points(range(10))
+        batches = list(batches_by_boundary(pts, slide=4, kind=COUNT))
+        assert [t for t, _ in batches] == [4, 8, 12]
+        assert [[p.seq for p in b] for _, b in batches] == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_every_point_delivered_exactly_once(self):
+        pts = line_points(range(23))
+        seen = [p.seq for _, b in batches_by_boundary(pts, 5, COUNT)
+                for p in b]
+        assert seen == list(range(23))
+
+    def test_until_truncates(self):
+        pts = line_points(range(10))
+        batches = list(batches_by_boundary(pts, 4, COUNT, until=8))
+        assert [t for t, _ in batches] == [4, 8]
+
+    def test_until_extends_with_empty_batches(self):
+        pts = line_points(range(4))
+        batches = list(batches_by_boundary(pts, 4, COUNT, until=12))
+        assert [t for t, _ in batches] == [4, 8, 12]
+        assert [len(b) for _, b in batches] == [4, 0, 0]
+
+    def test_time_based_batching(self):
+        pts = line_points([0, 0, 0, 0], times=[0.5, 3.0, 3.5, 9.0])
+        batches = list(batches_by_boundary(pts, 4, TIME))
+        assert [t for t, _ in batches] == [4, 8, 12]
+        assert [[p.seq for p in b] for _, b in batches] == [
+            [0, 1, 2], [], [3]]
+
+    def test_empty_stream(self):
+        assert list(batches_by_boundary([], 5, COUNT)) == []
+
+    def test_bad_slide(self):
+        with pytest.raises(ValueError):
+            list(batches_by_boundary(line_points([1]), 0, COUNT))
+
+    def test_unsorted_times_rejected(self):
+        pts = [line_points([1], times=[5.0])[0],
+               line_points([2], start_seq=1, times=[1.0])[0]]
+        with pytest.raises(ValueError, match="non-decreasing"):
+            list(batches_by_boundary(pts, 4, TIME))
+
+    def test_boundary_point_goes_to_next_batch(self):
+        # a point exactly at position t belongs to the window ending at
+        # t + slide, not the one ending at t (half-open intervals)
+        pts = line_points([0, 0], times=[4.0, 5.0])
+        batches = dict(batches_by_boundary(pts, 4, TIME))
+        assert [p.seq for p in batches[4]] == []
+        assert [p.seq for p in batches[8]] == [0, 1]

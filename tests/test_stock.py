@@ -1,0 +1,103 @@
+"""Unit tests for the simulated STT stock-trade stream."""
+
+import math
+
+import pytest
+
+from repro import StockTradeSimulator, make_stock_points
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        {"n_tickers": 0}, {"n_tickers": 999}, {"anomaly_rate": -0.1},
+        {"anomaly_rate": 0.5}, {"n_trades": 0},
+    ])
+    def test_rejects_bad_params(self, kw):
+        with pytest.raises(ValueError):
+            StockTradeSimulator(**kw)
+
+    def test_unknown_attribute_rejected(self):
+        sim = StockTradeSimulator(n_trades=10)
+        with pytest.raises(ValueError, match="unknown attributes"):
+            sim.points(attributes=("price", "spread"))
+
+
+class TestRecords:
+    def _records(self, **kw):
+        return list(StockTradeSimulator(n_trades=500, seed=4, **kw).records())
+
+    def test_schema(self):
+        rec = self._records()[0]
+        assert set(["name", "trans_id", "time", "volume", "price", "type"]
+                   ) <= set(rec.__dataclass_fields__)
+
+    def test_trans_ids_sequential(self):
+        recs = self._records()
+        assert [r.trans_id for r in recs] == list(range(500))
+
+    def test_times_sorted_within_day(self):
+        recs = self._records()
+        times = [r.time for r in recs]
+        assert times == sorted(times)
+        assert 0 <= times[0] and times[-1] <= 6.5 * 3600
+
+    def test_anomaly_rate_honored(self):
+        recs = self._records(anomaly_rate=0.02)
+        assert sum(r.is_anomaly for r in recs) == 10
+
+    def test_prices_and_volumes_positive(self):
+        recs = self._records()
+        assert all(r.price > 0 and r.volume >= 1 for r in recs)
+
+    def test_trade_types(self):
+        recs = self._records()
+        assert {r.type for r in recs} <= {"BUY", "SELL"}
+
+    def test_ticker_universe(self):
+        recs = list(StockTradeSimulator(n_trades=300, n_tickers=3,
+                                        seed=1).records())
+        assert len({r.name for r in recs}) <= 3
+
+    def test_deterministic(self):
+        assert self._records() == self._records()
+
+    def test_anomalies_are_extreme(self):
+        recs = self._records(anomaly_rate=0.05)
+        normal_vol = sorted(r.volume for r in recs if not r.is_anomaly)
+        median = normal_vol[len(normal_vol) // 2]
+        big_anomalies = [r for r in recs if r.is_anomaly
+                         and r.volume > 20 * median]
+        # roughly half the anomalies are block trades
+        assert big_anomalies
+
+
+class TestPoints:
+    def test_default_projection(self):
+        pts = make_stock_points(100, seed=2)
+        assert all(p.dim == 2 for p in pts)
+
+    def test_log_volume(self):
+        sim = StockTradeSimulator(n_trades=50, seed=2)
+        recs = list(sim.records())
+        pts = sim.points(attributes=("log_volume",))
+        for rec, p in zip(recs, pts):
+            assert p.values[0] == pytest.approx(math.log1p(rec.volume))
+
+    def test_seq_is_trans_id_and_time_is_trade_time(self):
+        sim = StockTradeSimulator(n_trades=50, seed=2)
+        recs = list(sim.records())
+        pts = sim.points()
+        for rec, p in zip(recs, pts):
+            assert p.seq == rec.trans_id and p.time == rec.time
+
+    def test_time_of_day_attribute(self):
+        pts = make_stock_points(30, seed=2, attributes=("time_of_day",))
+        assert all(p.values[0] == p.time for p in pts)
+
+    def test_u_shaped_intensity(self):
+        # open + close hours carry far more than a uniform share of trades
+        recs = list(StockTradeSimulator(n_trades=4000, seed=8).records())
+        day = 6.5 * 3600
+        edges = sum(1 for r in recs
+                    if r.time < 0.15 * day or r.time > 0.85 * day)
+        assert edges / len(recs) > 0.5

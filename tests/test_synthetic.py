@@ -1,0 +1,86 @@
+"""Unit tests for the synthetic (Gaussian + uniform) stream generator."""
+
+import numpy as np
+import pytest
+
+from repro import SyntheticConfig, SyntheticStream, make_synthetic_points
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        cfg = SyntheticConfig()
+        assert cfg.dim == 2 and 0 < cfg.outlier_rate < 0.05 + 1e-9
+
+    @pytest.mark.parametrize("kw", [
+        {"outlier_rate": -0.1}, {"outlier_rate": 1.0}, {"dim": 0},
+        {"n_clusters": 0}, {"segment_len": 0}, {"value_range": (5.0, 5.0)},
+    ])
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**kw)
+
+    def test_stream_rejects_config_plus_overrides(self):
+        with pytest.raises(TypeError):
+            SyntheticStream(SyntheticConfig(), dim=3)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = make_synthetic_points(500, seed=42)
+        b = make_synthetic_points(500, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_points(200, seed=1)
+        b = make_synthetic_points(200, seed=2)
+        assert a != b
+
+    def test_seq_contiguous_from_zero(self):
+        pts = make_synthetic_points(300, seed=0)
+        assert [p.seq for p in pts] == list(range(300))
+
+    def test_dimensionality(self):
+        pts = make_synthetic_points(10, dim=5, seed=0)
+        assert all(p.dim == 5 for p in pts)
+
+    def test_outlier_slots_per_segment(self):
+        stream = SyntheticStream(SyntheticConfig(segment_len=200,
+                                                 outlier_rate=0.04))
+        assert stream.segment_outlier_count() == 8
+
+    def test_zero_outlier_rate(self):
+        pts = make_synthetic_points(400, outlier_rate=0.0, seed=5,
+                                    segment_len=100)
+        # all points are Gaussian around cluster centers: the spread of the
+        # whole sample is far below the uniform box
+        arr = np.asarray([p.values for p in pts])
+        assert arr.std() < 2500
+
+    def test_gaussian_mass_concentrated(self):
+        # with a 3% outlier rate, >90% of points sit near some cluster
+        stream = SyntheticStream(SyntheticConfig(seed=9, outlier_rate=0.03,
+                                                 cluster_spread=50.0))
+        pts = stream.take(1000)
+        arr = np.asarray([p.values for p in pts])
+        # distance to the nearest of the other points: inliers are dense
+        close = 0
+        for i in range(0, 1000, 10):
+            d = np.sqrt(((arr - arr[i]) ** 2).sum(axis=1))
+            d[i] = np.inf
+            if d.min() < 200:
+                close += 1
+        assert close >= 85
+
+    def test_values_clipped_to_box(self):
+        pts = make_synthetic_points(2000, seed=3,
+                                    value_range=(0.0, 1000.0))
+        arr = np.asarray([p.values for p in pts])
+        # Gaussians can spill past the box by a few sigma, uniforms cannot;
+        # everything stays in a sane envelope
+        assert arr.min() > -1500 and arr.max() < 2500
+
+    def test_take_is_prefix(self):
+        stream = SyntheticStream(SyntheticConfig(seed=7))
+        first = stream.take(50)
+        again = stream.take(100)
+        assert again[:50] == first

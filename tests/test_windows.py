@@ -1,0 +1,125 @@
+"""Unit tests for sliding-window semantics and swift-schedule arithmetic."""
+
+import pytest
+
+from repro import COUNT, TIME, SwiftSchedule, WindowSpec, gcd_all
+
+
+class TestGcdAll:
+    def test_basic(self):
+        assert gcd_all([12, 18, 24]) == 6
+
+    def test_single(self):
+        assert gcd_all([7]) == 7
+
+    def test_coprime(self):
+        assert gcd_all([3, 5]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gcd_all([])
+
+
+class TestWindowSpecValidation:
+    def test_valid(self):
+        spec = WindowSpec(win=100, slide=10)
+        assert spec.kind == COUNT
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="window kind"):
+            WindowSpec(win=10, slide=5, kind="session")
+
+    @pytest.mark.parametrize("win,slide", [(0, 1), (-5, 1), (10, 0), (10, -1)])
+    def test_positive_required(self, win, slide):
+        with pytest.raises(ValueError):
+            WindowSpec(win=win, slide=slide)
+
+    def test_slide_larger_than_win_rejected(self):
+        with pytest.raises(ValueError, match="slide .* larger than win"):
+            WindowSpec(win=10, slide=20)
+
+    @pytest.mark.parametrize("win,slide", [(10.0, 5), (10, 5.0), (True, 1)])
+    def test_int_required(self, win, slide):
+        with pytest.raises(TypeError):
+            WindowSpec(win=win, slide=slide)
+
+
+class TestWindowSchedule:
+    def test_due_at_multiples_only(self):
+        spec = WindowSpec(win=100, slide=25)
+        assert spec.due_at(25) and spec.due_at(50) and spec.due_at(100)
+        assert not spec.due_at(0)  # no output before the first slide
+        assert not spec.due_at(30)
+
+    def test_interval_full_window(self):
+        spec = WindowSpec(win=100, slide=25)
+        assert spec.interval_at(150) == (50, 150)
+
+    def test_interval_partial_warmup(self):
+        spec = WindowSpec(win=100, slide=25)
+        assert spec.interval_at(25) == (0, 25)
+
+    def test_boundaries(self):
+        spec = WindowSpec(win=100, slide=30)
+        assert list(spec.boundaries(100)) == [30, 60, 90]
+
+    def test_contains_half_open(self):
+        spec = WindowSpec(win=10, slide=5)
+        assert spec.contains(10, 20)      # start inclusive
+        assert spec.contains(19, 20)
+        assert not spec.contains(20, 20)  # end exclusive
+        assert not spec.contains(9, 20)
+
+
+class TestSwiftSchedule:
+    def _specs(self):
+        return [
+            WindowSpec(win=100, slide=20),
+            WindowSpec(win=300, slide=30),
+            WindowSpec(win=200, slide=50),
+        ]
+
+    def test_win_is_max(self):
+        assert SwiftSchedule(self._specs()).win == 300
+
+    def test_slide_is_gcd(self):
+        assert SwiftSchedule(self._specs()).slide == 10
+
+    def test_kind_must_match(self):
+        with pytest.raises(ValueError, match="share a kind"):
+            SwiftSchedule([
+                WindowSpec(win=10, slide=5, kind=COUNT),
+                WindowSpec(win=10, slide=5, kind=TIME),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SwiftSchedule([])
+
+    def test_due_members(self):
+        sched = SwiftSchedule(self._specs())
+        # at t=60: slides 20 and 30 divide, 50 does not
+        assert sched.due_members(60) == [0, 1]
+        assert sched.due_members(50) == [2]
+        assert sched.due_members(10) == []
+
+    def test_every_member_boundary_is_swift_boundary(self):
+        sched = SwiftSchedule(self._specs())
+        swift = set(sched.boundaries(600))
+        for spec in self._specs():
+            for t in spec.boundaries(600):
+                assert t in swift
+
+    def test_member_boundaries_include_idle_ticks(self):
+        sched = SwiftSchedule([WindowSpec(win=100, slide=40),
+                               WindowSpec(win=100, slide=60)])
+        pairs = dict(sched.member_boundaries(120))
+        assert sched.slide == 20
+        assert pairs[20] == []          # swift tick, nothing due
+        assert pairs[40] == [0]
+        assert pairs[60] == [1]
+        assert pairs[120] == [0, 1]
+
+    def test_single_member(self):
+        sched = SwiftSchedule([WindowSpec(win=50, slide=25)])
+        assert sched.win == 50 and sched.slide == 25

@@ -1,0 +1,91 @@
+"""Unit tests for workload JSON specs."""
+
+import json
+
+import pytest
+
+from repro import OutlierQuery, WindowSpec, load_workload, save_workload
+
+
+def q(r=100.0, k=3, win=100, slide=10, kind="count", **kw):
+    return OutlierQuery(r=r, k=k,
+                        window=WindowSpec(win=win, slide=slide, kind=kind),
+                        **kw)
+
+
+class TestRoundtrip:
+    def test_basic(self, tmp_path):
+        queries = [q(r=5, k=2), q(r=9, k=7, name="fraud")]
+        path = tmp_path / "wl.json"
+        assert save_workload(queries, path) == 2
+        loaded = load_workload(path)
+        assert loaded == queries
+
+    def test_attributes_preserved(self, tmp_path):
+        queries = [q(attributes=(0, 2)), q()]
+        path = tmp_path / "wl.json"
+        save_workload(queries, path)
+        loaded = load_workload(path)
+        assert loaded[0].attributes == (0, 2)
+        assert loaded[1].attributes is None
+
+    def test_time_kind_preserved(self, tmp_path):
+        queries = [q(kind="time")]
+        path = tmp_path / "wl.json"
+        save_workload(queries, path)
+        assert load_workload(path)[0].kind == "time"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_workload([], tmp_path / "wl.json")
+
+    def test_mixed_kinds_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="kind"):
+            save_workload([q(), q(kind="time")], tmp_path / "wl.json")
+
+
+class TestLoadValidation:
+    def _write(self, tmp_path, doc):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(doc) if not isinstance(doc, str) else doc)
+        return path
+
+    def test_not_json(self, tmp_path):
+        path = self._write(tmp_path, "{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_workload(path)
+
+    def test_missing_queries(self, tmp_path):
+        path = self._write(tmp_path, {"kind": "count"})
+        with pytest.raises(ValueError, match="'queries'"):
+            load_workload(path)
+
+    def test_bad_kind(self, tmp_path):
+        path = self._write(tmp_path, {"kind": "session", "queries": [
+            {"r": 1, "k": 1, "win": 10, "slide": 5}]})
+        with pytest.raises(ValueError, match="kind"):
+            load_workload(path)
+
+    def test_empty_queries_list(self, tmp_path):
+        path = self._write(tmp_path, {"queries": []})
+        with pytest.raises(ValueError, match="non-empty"):
+            load_workload(path)
+
+    def test_missing_field(self, tmp_path):
+        path = self._write(tmp_path, {"queries": [{"r": 1, "k": 1,
+                                                   "win": 10}]})
+        with pytest.raises(ValueError, match="missing field"):
+            load_workload(path)
+
+    def test_invalid_values_surface_query_index(self, tmp_path):
+        path = self._write(tmp_path, {"queries": [
+            {"r": 1, "k": 1, "win": 10, "slide": 5},
+            {"r": -1, "k": 1, "win": 10, "slide": 5},
+        ]})
+        with pytest.raises(ValueError, match="query #1"):
+            load_workload(path)
+
+    def test_kind_defaults_to_count(self, tmp_path):
+        path = self._write(tmp_path, {"queries": [
+            {"r": 1, "k": 1, "win": 10, "slide": 5}]})
+        assert load_workload(path)[0].kind == "count"

@@ -1,0 +1,111 @@
+"""Unit tests for the Table 1 / Table 2 workload builders."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_RANGES,
+    WORKLOAD_SPECS,
+    ScaledRanges,
+    build_workload,
+    default_ranges,
+)
+
+
+class TestSpecsTable1:
+    def test_all_seven_classes(self):
+        assert sorted(WORKLOAD_SPECS) == list("ABCDEFG")
+
+    def test_class_g_varies_everything(self):
+        assert WORKLOAD_SPECS["G"] == (True, True, True, True)
+
+    def test_paper_ranges_table2(self):
+        assert PAPER_RANGES["K"] == (30, 1500)
+        assert PAPER_RANGES["R"] == (200.0, 2000.0)
+        assert PAPER_RANGES["W"] == (1_000, 500_000)
+        assert PAPER_RANGES["S"] == (50, 50_000)
+
+
+class TestBuilder:
+    def test_size(self):
+        assert len(build_workload("A", 25, seed=1)) == 25
+
+    def test_deterministic_per_seed(self):
+        a = build_workload("G", 10, seed=4)
+        b = build_workload("G", 10, seed=4)
+        assert [q.name for q in a] == [q.name for q in b]
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError, match="unknown workload spec"):
+            build_workload("Z", 5)
+
+    def test_zero_queries_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("A", 0)
+
+    def test_case_insensitive(self):
+        assert len(build_workload("g", 3, seed=0)) == 3
+
+    def _varies(self, group, attr):
+        return len({getattr(q, attr) for q in group}) > 1
+
+    def test_workload_a_varies_only_r(self):
+        g = build_workload("A", 30, seed=2)
+        assert self._varies(g, "r")
+        assert not self._varies(g, "k")
+        assert not self._varies(g, "win")
+        assert not self._varies(g, "slide")
+
+    def test_workload_b_varies_only_k(self):
+        g = build_workload("B", 30, seed=2)
+        assert not self._varies(g, "r") and self._varies(g, "k")
+
+    def test_workload_d_varies_only_win(self):
+        g = build_workload("D", 30, seed=2)
+        assert self._varies(g, "win")
+        assert not self._varies(g, "r") and not self._varies(g, "slide")
+
+    def test_workload_e_varies_only_slide(self):
+        g = build_workload("E", 30, seed=2)
+        assert self._varies(g, "slide") and not self._varies(g, "win")
+
+    def test_workload_g_varies_all(self):
+        g = build_workload("G", 40, seed=2)
+        for attr in ("r", "k", "win", "slide"):
+            assert self._varies(g, attr), attr
+
+    def test_values_within_ranges(self):
+        ranges = default_ranges()
+        g = build_workload("G", 100, seed=9, ranges=ranges)
+        for q in g:
+            assert ranges.r[0] <= q.r < ranges.r[1]
+            assert ranges.k[0] <= q.k < ranges.k[1]
+            assert ranges.win[0] <= q.win < ranges.win[1]
+            assert q.slide <= q.win
+
+    def test_slides_are_quantum_multiples(self):
+        ranges = default_ranges()
+        g = build_workload("F", 50, seed=3, ranges=ranges)
+        assert all(q.slide % ranges.slide_quantum == 0 for q in g)
+
+    def test_fixed_slide_clamped_to_window(self):
+        # fixed slide 100 > smallest possible window must be clamped
+        ranges = ScaledRanges(win=(40, 80), fixed_slide=100)
+        g = build_workload("D", 20, seed=5, ranges=ranges)
+        assert all(q.slide <= q.win for q in g)
+
+
+class TestScaling:
+    def test_scale_factor(self):
+        base = default_ranges()
+        double = base.scale(2.0)
+        assert double.fixed_win == 2 * base.fixed_win
+        assert double.k == (2 * base.k[0], 2 * base.k[1])
+        # r untouched: data geometry is scale-independent
+        assert double.r == base.r
+
+    def test_scale_validates(self):
+        with pytest.raises(ValueError):
+            default_ranges().scale(0)
+
+    def test_default_ranges_fixed_r_override(self):
+        assert default_ranges(fixed_r=200.0).fixed_r == 200.0
