@@ -11,6 +11,10 @@ benchmarks quantify what each buys:
 * **eager refresh** (Sec. 4.2 swift query): lazy mode refreshes evidence
   only at boundaries where a member query is due -- cheaper per tick but
   discovers safe inliers later;
+* **batched refresh** (an engine choice of this reproduction): without it,
+  every refreshed point launches its own numpy distance kernels instead of
+  sharing one pairwise kernel per chunk (see ``benchmarks/bench_refresh.py``
+  for the dedicated microbenchmark);
 * **chunk size**: the vectorized-scan block size (an implementation knob
   of this reproduction, not of the paper).
 """
@@ -34,6 +38,7 @@ VARIANTS = {
     "no-safe-inliers": {"use_safe_inliers": False},
     "no-least-exam": {"use_least_examination": False},
     "lazy-refresh": {"eager": False},
+    "no-batched": {"use_batched_refresh": False},
 }
 
 

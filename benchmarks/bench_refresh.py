@@ -1,0 +1,177 @@
+"""Per-boundary refresh microbenchmark: batched engine vs per-point path.
+
+Measures what the batched K-SKY refresh engine buys, per boundary, using
+the detector's own :class:`repro.metrics.RefreshProfile` counters:
+
+* ``mean_refresh_ms`` -- wall time inside ``SOPDetector._refresh``;
+* ``kernel_launches`` -- numpy distance-kernel launches (the quantity the
+  batched engine exists to shrink from O(live points) to O(chunks));
+* ``batch_rows`` / ``python_insert_iters`` -- how much work went through
+  the batched path and how many candidates the scans examined.
+
+Grid: workloads A and G (Table 1) at swift windows {1k, 4k, 16k}.  The
+per-point path (``use_batched_refresh=False``) is the seed behaviour, so
+the recorded speedups track the engine's trajectory across PRs.  Output
+equality between the two paths is asserted on every config -- a speedup
+that changes answers is a bug, not a result.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_refresh.py            # full grid,
+                                                                 # writes BENCH_refresh.json
+    PYTHONPATH=src python benchmarks/bench_refresh.py --quick    # CI smoke (small grid,
+                                                                 # no file unless --out)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from repro import SOPDetector, make_synthetic_points
+from repro.bench import build_workload, default_ranges
+
+N_QUERIES = 8
+WINDOWS = (1_000, 4_000, 16_000)
+WORKLOADS = ("A", "G")
+QUICK_WINDOWS = (1_000,)
+QUICK_WORKLOADS = ("A",)
+#: slide/window ratio 1/20, like the paper's defaults
+SLIDE_DIV = 20
+#: stream length in windows: one warm-up window + one steady-state window
+WINDOWS_PER_STREAM = 2
+
+
+def _ranges(window: int):
+    """Benchmark ranges pinned to one swift-window size.
+
+    Fixed-window workloads (A) use ``window`` exactly; varying-window
+    workloads (G) sample from ``(window/4, window]`` so the swift window
+    (max of member windows) stays at most ``window``.
+    """
+    slide = max(50, window // SLIDE_DIV)
+    return replace(
+        default_ranges(),
+        fixed_win=window,
+        fixed_slide=slide,
+        win=(max(100, window // 4), window),
+        slide=(50, slide),
+    )
+
+
+def _profile_dict(det: SOPDetector) -> dict:
+    prof = det.profile
+    return {
+        "boundaries": prof.boundaries,
+        "refresh_ns": prof.refresh_ns,
+        "mean_refresh_ms": round(prof.mean_refresh_ms, 4),
+        "kernel_launches": prof.kernel_launches,
+        "kernel_launches_per_boundary": round(prof.mean_kernel_launches, 2),
+        "batch_rows": prof.batch_rows,
+        "python_insert_iters": prof.python_insert_iters,
+        "distance_rows": det.buffer.distance_rows,
+        "ksky_runs": det.stats["ksky_runs"],
+        "batched_scans": det.stats["batched_scans"],
+    }
+
+
+def run_config(spec: str, window: int, seed: int = 11) -> dict:
+    group = build_workload(spec, n_queries=N_QUERIES, seed=seed,
+                           ranges=_ranges(window))
+    stream = make_synthetic_points(
+        WINDOWS_PER_STREAM * window, dim=2, outlier_rate=0.02, seed=7,
+        n_clusters=2, cluster_spread=185,
+    )
+    runs = {}
+    for label, flag in (("batched", True), ("per_point", False)):
+        det = SOPDetector(group, use_batched_refresh=flag)
+        res = det.run(stream)
+        runs[label] = (det, res)
+    det_b, res_b = runs["batched"]
+    det_p, res_p = runs["per_point"]
+    equal = (res_b.outputs == res_p.outputs
+             and res_b.memory.peak_units == res_p.memory.peak_units)
+    speedup = (det_p.profile.refresh_ns / det_b.profile.refresh_ns
+               if det_b.profile.refresh_ns else float("nan"))
+    return {
+        "workload": spec,
+        "window": window,
+        "slide": group.swift.slide,
+        "swift_window": group.swift.win,
+        "n_queries": N_QUERIES,
+        "stream_points": len(stream),
+        "batched": _profile_dict(det_b),
+        "per_point": _profile_dict(det_p),
+        "refresh_speedup": round(speedup, 3),
+        "outputs_equal": equal,
+    }
+
+
+def run_grid(windows, workloads) -> dict:
+    configs = []
+    for spec in workloads:
+        for window in windows:
+            cfg = run_config(spec, window)
+            configs.append(cfg)
+            print(
+                f"workload {cfg['workload']} win={cfg['window']:>6}: "
+                f"per-point {cfg['per_point']['mean_refresh_ms']:8.2f} ms/b "
+                f"({cfg['per_point']['kernel_launches_per_boundary']:.0f} kernels/b)"
+                f" -> batched {cfg['batched']['mean_refresh_ms']:8.2f} ms/b "
+                f"({cfg['batched']['kernel_launches_per_boundary']:.0f} kernels/b)"
+                f"  speedup {cfg['refresh_speedup']:.2f}x"
+                f"  outputs_equal={cfg['outputs_equal']}"
+            )
+            if not cfg["outputs_equal"]:
+                raise SystemExit(
+                    f"FATAL: batched and per-point outputs diverge on "
+                    f"workload {spec} window {window}"
+                )
+    return {
+        "schema": "bench_refresh/v1",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "settings": {
+            "n_queries": N_QUERIES,
+            "windows_per_stream": WINDOWS_PER_STREAM,
+            "slide_divisor": SLIDE_DIV,
+            "stream": "make_synthetic_points(dim=2, outlier_rate=0.02, "
+                      "seed=7, n_clusters=2, cluster_spread=185)",
+        },
+        "configs": configs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid, no JSON unless --out is given "
+                             "(CI smoke test)")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default BENCH_refresh.json; "
+                             "suppressed in --quick mode)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        report = run_grid(QUICK_WINDOWS, QUICK_WORKLOADS)
+    else:
+        report = run_grid(WINDOWS, WORKLOADS)
+    out = args.out if args.out is not None else (
+        None if args.quick else "BENCH_refresh.json")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ from .index import GridIndex, IndexedWindow
 from .core.dynamic import DynamicSOPDetector
 from .core.sop import SOPDetector
 from .metrics.meters import CpuMeter, MemoryMeter
+from .metrics.profiling import RefreshProfile
 from .metrics.results import RunResult, compare_outputs
 from .streams.buffer import WindowBuffer
 from .streams.source import ListSource, StreamSource, batches_by_boundary
@@ -104,6 +105,7 @@ __all__ = [
     "ListSource",
     "MCODDetector",
     "MemoryMeter",
+    "RefreshProfile",
     "MultiAttributeDetector",
     "MultiAttributeSOP",
     "NaiveDetector",

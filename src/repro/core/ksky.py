@@ -28,7 +28,9 @@ dominator-dependent reach table ``allowed_layer``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..streams.buffer import WindowBuffer
 from .lsky import LSky, SkybandEntry
@@ -90,11 +92,14 @@ class _Resolution:
     _EXACT_LIMIT = 8
     _CHECK_EVERY = 32
 
-    def __init__(self, plan: SkybandPlan):
-        # (min_layer, k) per sub-group
-        self.pending: List[Tuple[int, int]] = [
-            (sg.min_layer, sg.k) for sg in plan.subgroups
-        ]
+    def __init__(self, plan: SkybandPlan,
+                 pending: List[Tuple[int, int]] = None):
+        # (min_layer, k) per sub-group; callers running many scans per
+        # boundary pass a precomputed template to skip rebuilding it
+        self.pending: List[Tuple[int, int]] = (
+            list(pending) if pending is not None
+            else [(sg.min_layer, sg.k) for sg in plan.subgroups]
+        )
         self._since_check = 0
 
     def check(self, lsky: LSky) -> bool:
@@ -145,6 +150,8 @@ class KSkyRunner:
         self.plan = plan
         self.chunk_size = chunk_size
         self.by_time = plan.kind == "time"
+        # resolution template, copied per scan (see _Resolution)
+        self._pending = [(sg.min_layer, sg.k) for sg in plan.subgroups]
 
     # ----------------------------------------------------------------- runs
 
@@ -152,7 +159,7 @@ class KSkyRunner:
                       buffer: WindowBuffer) -> KSkyResult:
         """Alg. 1, lines 1-2: a new point searches the window from scratch."""
         lsky = LSky(self.plan.n_layers)
-        resolution = _Resolution(self.plan)
+        resolution = _Resolution(self.plan, self._pending)
         examined, terminated = self._scan_buffer(
             p_values, p_seq, buffer, lsky, resolution,
             lo=0, hi=len(buffer),
@@ -178,7 +185,7 @@ class KSkyRunner:
         evidence itself (see ``repro.core.sop``).
         """
         lsky = LSky(self.plan.n_layers)
-        resolution = _Resolution(self.plan)
+        resolution = _Resolution(self.plan, self._pending)
         examined, terminated = self._scan_buffer(
             p_values, p_seq, buffer, lsky, resolution,
             lo=new_from_index, hi=len(buffer),
@@ -189,6 +196,211 @@ class KSkyRunner:
             terminated_early=terminated,
             resolved_all=resolution.done,
         )
+
+    def scan_precomputed(
+        self,
+        p_seq: int,
+        layers: Sequence[int],
+        cand_seqs: Sequence[int],
+        cand_poss: Sequence[float],
+    ) -> KSkyResult:
+        """Batched form of :meth:`scan_new_arrivals`: consume one row of a
+        precomputed layer matrix instead of launching per-point kernels.
+
+        ``layers`` is the evaluated point's row of
+        ``RGrid.layers_of(pairwise_block(...))`` as a plain Python list;
+        ``cand_seqs``/``cand_poss`` are the aligned candidate seqs and
+        window positions, shared by every row of the batch.  All three are
+        oldest-first in live-buffer order over ``[new_from, len(buffer))``.
+
+        The scan order (newest first), the chunk boundaries, and the
+        resolution-check cadence replicate :meth:`_scan_buffer` exactly, so
+        the produced skyband, the ``examined`` count, and the
+        ``terminated_early`` flag are identical to the per-point path --
+        the detector's batched/per-point output-equality gate depends on
+        this.  The loop body touches only Python ints and lists: the numpy
+        work all happened in the one pairwise kernel per boundary.
+        """
+        plan = self.plan
+        lsky = LSky(plan.n_layers)
+        resolution = _Resolution(plan, self._pending)
+        n_layers = plan.n_layers
+        k_max = plan.k_max
+        allowed = plan.allowed_layer
+        dominator_count = lsky.dominator_count
+        insert = lsky.insert
+        on_insert = resolution.on_insert
+        examined = 0
+        chunk = self.chunk_size
+        block_hi = len(layers)
+        terminated = False
+        while block_hi > 0:
+            block_lo = block_hi - chunk
+            if block_lo < 0:
+                block_lo = 0
+            for j in range(block_hi - 1, block_lo - 1, -1):
+                if cand_seqs[j] == p_seq:
+                    continue
+                examined += 1
+                m = layers[j]
+                if m >= n_layers:
+                    continue
+                c = dominator_count(m)
+                if c < k_max and m <= allowed[c]:
+                    insert(cand_seqs[j], cand_poss[j], m)
+                    if on_insert(lsky, m):
+                        terminated = True
+                        break
+                elif resolution.done:
+                    terminated = True
+                    break
+            if terminated or resolution.check(lsky):
+                return KSkyResult(
+                    lsky=lsky,
+                    examined=examined,
+                    terminated_early=True,
+                    resolved_all=resolution.done,
+                )
+            block_hi = block_lo
+        return KSkyResult(
+            lsky=lsky,
+            examined=examined,
+            terminated_early=False,
+            resolved_all=resolution.done,
+        )
+
+    def scan_batched(
+        self,
+        row_indexes: Sequence[int],
+        p_seqs: Sequence[int],
+        buffer: WindowBuffer,
+        lo: int,
+    ) -> List[KSkyResult]:
+        """Chunk-synchronous batched scans over live indexes ``[lo, end)``.
+
+        ``row_indexes``/``p_seqs`` give the live-buffer index and seq of
+        each evaluated point.  All rows share the same candidate range, so
+        each chunk costs one ``pairwise_block`` kernel over the still-active
+        rows and one vectorized ``layers_of`` hash -- rows that terminate
+        drop out of subsequent chunks, which keeps ``distance_rows``
+        identical to running :meth:`scan_new_arrivals` (``lo > 0``) or
+        :meth:`run_new_point` (``lo == 0``) per row: the per-point path also
+        pays for a whole chunk before scanning it.
+
+        Equivalence with the per-point path is exact -- same chunk
+        boundaries (anchored at the buffer top), same insert decisions,
+        same termination points, same ``examined`` counts.  The Python loop
+        only visits candidates that could change the skyband: a candidate
+        at layer ``m`` is inserted only if fewer than ``k_max`` stored
+        entries dominate it (Def. 6 condition 2), i.e. only if ``m`` is
+        below the ``k_max``-th smallest stored layer, and a rejected
+        candidate never mutates scan state (the ``resolution.done``
+        rejection branch of ``_sky_insert`` is unreachable: ``done`` only
+        becomes true at a terminating insert or chunk-boundary check).  The
+        below-threshold positions are found with one vectorized comparison
+        per chunk; everything the loop touches is a Python int.  Skipped
+        candidates are folded into ``examined`` arithmetically.
+        """
+        plan = self.plan
+        n_layers = plan.n_layers
+        k_max = plan.k_max
+        allowed = plan.allowed_layer
+        chunk = self.chunk_size
+        by_time = self.by_time
+        pts = buffer.points
+        hi = len(buffer)
+        n = len(p_seqs)
+        mat = buffer.matrix()
+
+        lskys = [LSky(n_layers) for _ in range(n)]
+        resolutions = [_Resolution(plan, self._pending) for _ in range(n)]
+        examined = [0] * n
+        results: List[Optional[KSkyResult]] = [None] * n
+        active = list(range(n))
+        block_hi = hi
+        while block_hi > lo and active:
+            block_lo = max(lo, block_hi - chunk)
+            width = block_hi - block_lo
+            q_idx = np.asarray([row_indexes[r] for r in active],
+                               dtype=np.intp)
+            dists = buffer.pairwise_block(mat[q_idx], block_lo, block_hi)
+            lmat = plan.grid.layers_of(dists)
+            blk = pts[block_lo:block_hi]
+            seqs_blk = [q.seq for q in blk]
+            if by_time:
+                poss_blk = [q.time for q in blk]
+            else:
+                poss_blk = [float(q.seq) for q in blk]
+            # per-row insert threshold: the k_max-th smallest stored layer
+            # (n_layers while fewer than k_max entries exist -- then every
+            # real layer is still insertable)
+            thresh = np.empty(len(active), dtype=np.int64)
+            for a, row in enumerate(active):
+                t = lskys[row].k_distance_layer(k_max)
+                thresh[a] = n_layers if t is None else t
+            rows_nz, js_nz = np.nonzero(lmat < thresh[:, None])
+            seg = np.searchsorted(
+                rows_nz, np.arange(len(active) + 1)).tolist()
+            js_all = js_nz.tolist()
+            ms_all = lmat[rows_nz, js_nz].tolist()
+
+            still = []
+            for a, row in enumerate(active):
+                lsky = lskys[row]
+                resolution = resolutions[row]
+                dominator_count = lsky.dominator_count
+                insert = lsky.insert
+                on_insert = resolution.on_insert
+                p_seq = p_seqs[row]
+                terminated = False
+                jt = 0
+                for i in range(seg[a + 1] - 1, seg[a] - 1, -1):
+                    j = js_all[i]
+                    if seqs_blk[j] == p_seq:
+                        continue
+                    m = ms_all[i]
+                    c = dominator_count(m)
+                    if c < k_max and m <= allowed[c]:
+                        insert(seqs_blk[j], poss_blk[j], m)
+                        if on_insert(lsky, m):
+                            terminated = True
+                            jt = j
+                            break
+                self_rel = row_indexes[row] - block_lo
+                self_in = 0 <= self_rel < width
+                if terminated:
+                    examined[row] += (width - jt) - (
+                        1 if self_in and self_rel > jt else 0)
+                    results[row] = KSkyResult(
+                        lsky=lsky,
+                        examined=examined[row],
+                        terminated_early=True,
+                        resolved_all=resolution.done
+                        or resolution.check(lsky),
+                    )
+                    continue
+                examined[row] += width - (1 if self_in else 0)
+                if resolution.check(lsky):
+                    results[row] = KSkyResult(
+                        lsky=lsky,
+                        examined=examined[row],
+                        terminated_early=True,
+                        resolved_all=resolution.done,
+                    )
+                    continue
+                still.append(row)
+            active = still
+            block_hi = block_lo
+        for row in active:
+            resolution = resolutions[row]
+            results[row] = KSkyResult(
+                lsky=lskys[row],
+                examined=examined[row],
+                terminated_early=False,
+                resolved_all=resolution.done
+                or resolution.check(lskys[row]),
+            )
+        return results
 
     def run_existing_point(
         self,
@@ -206,7 +418,7 @@ class KSkyRunner:
         previous run did not see.
         """
         lsky = LSky(self.plan.n_layers)
-        resolution = _Resolution(self.plan)
+        resolution = _Resolution(self.plan, self._pending)
         examined, terminated = self._scan_buffer(
             p_values, p_seq, buffer, lsky, resolution,
             lo=new_from_index, hi=len(buffer),

@@ -65,8 +65,16 @@ class RGrid:
         return bisect_left(self.values, distance)
 
     def layers_of(self, distances: np.ndarray) -> np.ndarray:
-        """Vectorized ``layer_of`` over an array of distances."""
-        return np.searchsorted(self._array, distances, side="left")
+        """Vectorized ``layer_of`` over an array of distances.
+
+        Accepts arrays of any shape and preserves it -- in particular the
+        2-D ``(evaluated points x candidates)`` distance matrices of the
+        batched refresh engine are hashed to layers in this single call.
+        Returns ``int64`` layer indexes (``beyond`` for distances past the
+        largest ``r``).
+        """
+        return np.searchsorted(
+            self._array, distances, side="left").astype(np.int64, copy=False)
 
     def layer_of_r(self, r: float) -> int:
         """Layer index of an exact workload ``r`` value."""

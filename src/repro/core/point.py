@@ -92,6 +92,11 @@ class DistanceMetric:
     ``to_block(q, block)`` computes distances from ``q`` (1-D array) to every
     row of ``block`` (2-D array) -- the kernel all detectors use so CPU
     comparisons are not skewed by uneven numpy usage.
+    ``pairwise(queries, block)`` computes the full (queries x block) distance
+    matrix in one call -- the batched-refresh kernel.  Its rows must be
+    bit-identical to per-row ``to_block`` results (the batched and per-point
+    detector paths are asserted output-equal), so the built-in kernels use
+    the same elementwise arithmetic, not the dot-product expansion.
     """
 
     def __init__(
@@ -99,10 +104,12 @@ class DistanceMetric:
         name: str,
         scalar: Callable[[Sequence[float], Sequence[float]], float],
         to_block: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        pairwise: Callable[[np.ndarray, np.ndarray], np.ndarray] = None,
     ) -> None:
         self.name = name
         self._scalar = scalar
         self._to_block = to_block
+        self._pairwise = pairwise
 
     def __call__(self, a: Sequence[float], b: Sequence[float]) -> float:
         return self._scalar(a, b)
@@ -114,6 +121,21 @@ class DistanceMetric:
     def to_block(self, query: np.ndarray, block: np.ndarray) -> np.ndarray:
         """Vectorized distances from one query vector to a matrix of rows."""
         return self._to_block(query, block)
+
+    def pairwise(self, queries: np.ndarray, block: np.ndarray) -> np.ndarray:
+        """Distance matrix from every row of ``queries`` to every row of
+        ``block`` -- shape ``(len(queries), len(block))``.
+
+        Metrics registered without a dedicated pairwise kernel fall back to
+        one ``to_block`` call per query row, which preserves bit-identical
+        results at the cost of per-row kernel launches.
+        """
+        if self._pairwise is not None:
+            return self._pairwise(queries, block)
+        out = np.empty((queries.shape[0], block.shape[0]), dtype=np.float64)
+        for i in range(queries.shape[0]):
+            out[i] = self._to_block(queries[i], block)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DistanceMetric({self.name!r})"
@@ -128,12 +150,24 @@ def _euclidean_block(q: np.ndarray, block: np.ndarray) -> np.ndarray:
     return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
 
+def _euclidean_pairwise(queries: np.ndarray, block: np.ndarray) -> np.ndarray:
+    # broadcasting keeps the per-element arithmetic identical to
+    # _euclidean_block (no |a|^2 + |b|^2 - 2ab expansion, which would
+    # introduce cancellation and break batched-vs-per-point bit equality)
+    diff = block[None, :, :] - queries[:, None, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
 def _manhattan_scalar(a: Sequence[float], b: Sequence[float]) -> float:
     return sum(abs(x - y) for x, y in zip(a, b))
 
 
 def _manhattan_block(q: np.ndarray, block: np.ndarray) -> np.ndarray:
     return np.abs(block - q).sum(axis=1)
+
+
+def _manhattan_pairwise(queries: np.ndarray, block: np.ndarray) -> np.ndarray:
+    return np.abs(block[None, :, :] - queries[:, None, :]).sum(axis=2)
 
 
 def _chebyshev_scalar(a: Sequence[float], b: Sequence[float]) -> float:
@@ -144,9 +178,16 @@ def _chebyshev_block(q: np.ndarray, block: np.ndarray) -> np.ndarray:
     return np.abs(block - q).max(axis=1)
 
 
-euclidean = DistanceMetric("euclidean", _euclidean_scalar, _euclidean_block)
-manhattan = DistanceMetric("manhattan", _manhattan_scalar, _manhattan_block)
-chebyshev = DistanceMetric("chebyshev", _chebyshev_scalar, _chebyshev_block)
+def _chebyshev_pairwise(queries: np.ndarray, block: np.ndarray) -> np.ndarray:
+    return np.abs(block[None, :, :] - queries[:, None, :]).max(axis=2)
+
+
+euclidean = DistanceMetric("euclidean", _euclidean_scalar, _euclidean_block,
+                           _euclidean_pairwise)
+manhattan = DistanceMetric("manhattan", _manhattan_scalar, _manhattan_block,
+                           _manhattan_pairwise)
+chebyshev = DistanceMetric("chebyshev", _chebyshev_scalar, _chebyshev_block,
+                           _chebyshev_pairwise)
 
 _METRICS: Dict[str, DistanceMetric] = {
     "euclidean": euclidean,

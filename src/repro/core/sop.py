@@ -22,26 +22,46 @@ dominate younger ones, so no per-entry rescan is needed), and concatenate
 the new-arrival entries in front.  Safety and due-query evaluation are
 likewise vectorized.
 
-Ablation switches (used by ``benchmarks/bench_ablations.py``):
+**Batched refresh engine.**  The surviving points of a boundary all scan
+the *same* new arrivals, so their distance evidence is one
+``(survivors x new arrivals)`` matrix.  The batched path computes it with
+a single ``WindowBuffer.pairwise_block`` kernel, hashes the whole matrix
+to layers with one ``RGrid.layers_of`` call, and feeds each row to
+``KSkyRunner.scan_precomputed`` -- a pure-Python int loop that replicates
+the per-point scan's candidate order, chunk boundaries, and termination
+cadence exactly, so outputs and ``memory_units()`` are identical to the
+per-point path (``tests/test_sop_batched.py`` asserts this across the
+Table 1 grid).  From-scratch scans (new points, or with least examination
+disabled) stay per-point: against a full window, early termination skips
+most of the input, which a precomputed full matrix would forfeit.  The
+crossover heuristic ``batch_min_rows`` keeps tiny batches on the
+per-point path where one kernel launch amortizes nothing.
+
+Ablation switches (used by ``benchmarks/bench_ablations.py`` and
+``benchmarks/bench_refresh.py``):
 
 * ``eager=False`` -- refresh skybands only at boundaries where some member
   query is due, instead of at every swift boundary;
 * ``use_safe_inliers=False`` -- never prune fully safe points;
 * ``use_least_examination=False`` -- surviving points rescan the whole
-  window instead of (new arrivals + old skyband).
+  window instead of (new arrivals + old skyband);
+* ``use_batched_refresh=False`` -- surviving points launch one distance
+  kernel each (the pre-batching engine).
 
 All switches preserve output equality; they only trade CPU/memory.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..baselines.base import Detector
+from ..metrics.profiling import RefreshProfile
 from ..streams.buffer import WindowBuffer
-from .ksky import KSkyRunner
+from .ksky import KSkyResult, KSkyRunner
 from .lsky import LSky
 from .parser import SkybandPlan, parse_workload
 from .point import Point
@@ -88,6 +108,8 @@ class _PointState:
 
 def _arrays_from_lsky(sky: LSky):
     """Freeze a scan result into the per-point evidence arrays."""
+    if not sky.seqs:
+        return _EMPTY_I, _EMPTY_F, _EMPTY_I
     return (
         np.asarray(sky.seqs, dtype=np.int64),
         np.asarray(sky.poss, dtype=np.float64),
@@ -108,6 +130,8 @@ class SOPDetector(Detector):
         eager: bool = True,
         use_safe_inliers: bool = True,
         use_least_examination: bool = True,
+        use_batched_refresh: bool = True,
+        batch_min_rows: int = 8,
     ):
         super().__init__(group, metric)
         self.plan: SkybandPlan = parse_workload(group)
@@ -116,6 +140,10 @@ class SOPDetector(Detector):
         self.eager = eager
         self.use_safe_inliers = use_safe_inliers
         self.use_least_examination = use_least_examination
+        self.use_batched_refresh = use_batched_refresh
+        #: crossover heuristic: batches smaller than this run per-point
+        #: (one kernel launch amortizes nothing over so few rows)
+        self.batch_min_rows = max(1, batch_min_rows)
         self._states: Dict[int, _PointState] = {}
         #: counters for ablation studies and optimality tests
         self.stats = {
@@ -123,15 +151,29 @@ class SOPDetector(Detector):
             "points_examined": 0,
             "early_terminations": 0,
             "fully_safe_marked": 0,
+            "batched_scans": 0,
+            "eval_flatten_rebuilds": 0,
         }
+        #: per-boundary refresh observability (see repro.metrics.profiling)
+        self.profile = RefreshProfile()
+        # mutation generation: bumped whenever the live population or any
+        # evidence array changes; the due-query evaluation cache keys on it
+        self._gen = 0
+        self._flat_gen = -1
+        self._flat_cache: Optional[Tuple] = None
 
     # ------------------------------------------------------------- pipeline
 
     def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
         self.buffer.extend(batch)
+        if batch:
+            self._gen += 1
         start = max(0, t - self.swift.win)
-        for p in self.buffer.evict_before(start, self.by_time):
-            self._states.pop(p.seq, None)
+        evicted = self.buffer.evict_before(start, self.by_time)
+        if evicted:
+            self._gen += 1
+            for p in evicted:
+                self._states.pop(p.seq, None)
         due = self.group.due_members(t)
         if self.eager or due:
             self._refresh(float(start))
@@ -142,69 +184,149 @@ class SOPDetector(Detector):
     # ------------------------------------------------------------ refreshing
 
     def _refresh(self, window_start: float) -> None:
-        """Run K-SKY for every live, non-fully-safe point (Alg. 3 loop)."""
+        """Run K-SKY for every live, non-fully-safe point (Alg. 3 loop).
+
+        New points (and everything, with least examination disabled) scan
+        from scratch per-point; surviving points are grouped by their
+        first-unseen index and, past the ``batch_min_rows`` crossover, go
+        through the batched pairwise kernel.
+        """
         buf = self.buffer
         pts = buf.points
         if not pts:
             return
+        t0 = time.perf_counter_ns()
+        kernels0 = buf.kernel_calls
+        examined0 = self.stats["points_examined"]
+        batch_rows = 0
+
         newest_seq = pts[-1].seq
         base_seq = pts[0].seq
         n_live = len(pts)
         states = self._states
-        k_max = self.plan.k_max
-        for p in pts:
+        #: from-scratch scans, as (live index, point, state-or-None)
+        scratch: List[Tuple[int, Point, Optional[_PointState]]] = []
+        #: new_from index -> [(live index, point, state), ...]
+        survivors: Dict[int, List[Tuple[int, Point, _PointState]]] = {}
+        for idx, p in enumerate(pts):
             st = states.get(p.seq)
             if st is not None and st.fully_safe:
                 continue
             if st is None or not self.use_least_examination:
-                result = self.runner.run_new_point(p.values, p.seq, buf)
-                seqs, poss, layers = _arrays_from_lsky(result.lsky)
-                examined = result.examined
-                terminated = result.terminated_early
+                scratch.append((idx, p, st))
             else:
                 new_from = min(max(st.last_seen_seq + 1 - base_seq, 0),
                                n_live)
-                scan = self.runner.scan_new_arrivals(p.values, p.seq, buf,
-                                                     new_from)
-                examined = scan.examined
-                terminated = scan.terminated_early
-                n_seqs, n_poss, n_layers = _arrays_from_lsky(scan.lsky)
-                if terminated or st.seqs is None or not len(st.seqs):
-                    seqs, poss, layers = n_seqs, n_poss, n_layers
-                else:
-                    # least examination, vectorized: expire, trim entries
-                    # the new arrivals alone over-dominate, concatenate
-                    keep = st.poss >= window_start
-                    examined += int(keep.sum())
-                    if len(n_layers):
-                        new_sorted = np.sort(n_layers)
-                        dominated = np.searchsorted(
-                            new_sorted, st.layers, side="right") >= k_max
-                        keep &= ~dominated
-                        seqs = np.concatenate((n_seqs, st.seqs[keep]))
-                        poss = np.concatenate((n_poss, st.poss[keep]))
-                        layers = np.concatenate((n_layers, st.layers[keep]))
-                    elif keep.all():
-                        seqs, poss, layers = st.seqs, st.poss, st.layers
-                    else:
-                        seqs = st.seqs[keep]
-                        poss = st.poss[keep]
-                        layers = st.layers[keep]
-            self.stats["ksky_runs"] += 1
-            self.stats["points_examined"] += examined
-            if terminated:
-                self.stats["early_terminations"] += 1
-            if self.use_safe_inliers and self._is_fully_safe(p.seq, seqs,
-                                                             layers):
-                self.stats["fully_safe_marked"] += 1
-                states[p.seq] = _PointState(None, None, None, newest_seq,
-                                            True)
-            elif st is None:
-                states[p.seq] = _PointState(seqs, poss, layers, newest_seq,
-                                            False)
+                survivors.setdefault(new_from, []).append((idx, p, st))
+
+        if self.use_batched_refresh and len(scratch) >= self.batch_min_rows:
+            batch_rows += len(scratch)
+            self.stats["batched_scans"] += len(scratch)
+            results = self.runner.scan_batched(
+                [idx for idx, _, _ in scratch],
+                [p.seq for _, p, _ in scratch], buf, 0)
+            for (_, p, st), result in zip(scratch, results):
+                seqs, poss, layers = _arrays_from_lsky(result.lsky)
+                self._store(p, st, seqs, poss, layers, result.examined,
+                            result.terminated_early, newest_seq)
+        else:
+            for _, p, st in scratch:
+                result = self.runner.run_new_point(p.values, p.seq, buf)
+                seqs, poss, layers = _arrays_from_lsky(result.lsky)
+                self._store(p, st, seqs, poss, layers, result.examined,
+                            result.terminated_early, newest_seq)
+
+        for new_from, group in survivors.items():
+            if (self.use_batched_refresh and n_live > new_from
+                    and len(group) >= self.batch_min_rows):
+                batch_rows += len(group)
+                self.stats["batched_scans"] += len(group)
+                results = self.runner.scan_batched(
+                    [idx for idx, _, _ in group],
+                    [p.seq for _, p, _ in group], buf, new_from)
+                for (_, p, st), scan in zip(group, results):
+                    seqs, poss, layers, examined = self._merge_survivor(
+                        st, scan, window_start)
+                    self._store(p, st, seqs, poss, layers, examined,
+                                scan.terminated_early, newest_seq)
             else:
+                for _, p, st in group:
+                    scan = self.runner.scan_new_arrivals(p.values, p.seq,
+                                                         buf, new_from)
+                    seqs, poss, layers, examined = self._merge_survivor(
+                        st, scan, window_start)
+                    self._store(p, st, seqs, poss, layers, examined,
+                                scan.terminated_early, newest_seq)
+
+        self.profile.record(
+            time.perf_counter_ns() - t0,
+            buf.kernel_calls - kernels0,
+            batch_rows,
+            self.stats["points_examined"] - examined0,
+        )
+
+    def _merge_survivor(
+        self, st: _PointState, scan: KSkyResult, window_start: float
+    ):
+        """Least examination, vectorized: expire old entries, trim entries
+        the new arrivals alone over-dominate, concatenate new in front.
+
+        Returns ``(seqs, poss, layers, examined)``; the returned arrays are
+        the previous state's own objects when nothing changed, which the
+        evaluation cache uses to skip re-flattening.
+        """
+        examined = scan.examined
+        n_seqs, n_poss, n_layers = _arrays_from_lsky(scan.lsky)
+        if scan.terminated_early or st.seqs is None or not len(st.seqs):
+            return n_seqs, n_poss, n_layers, examined
+        keep = st.poss >= window_start
+        examined += int(keep.sum())
+        if len(n_layers):
+            new_sorted = np.sort(n_layers)
+            dominated = np.searchsorted(
+                new_sorted, st.layers, side="right") >= self.plan.k_max
+            keep &= ~dominated
+            seqs = np.concatenate((n_seqs, st.seqs[keep]))
+            poss = np.concatenate((n_poss, st.poss[keep]))
+            layers = np.concatenate((n_layers, st.layers[keep]))
+            return seqs, poss, layers, examined
+        if keep.all():
+            return st.seqs, st.poss, st.layers, examined
+        return st.seqs[keep], st.poss[keep], st.layers[keep], examined
+
+    def _store(
+        self,
+        p: Point,
+        st: Optional[_PointState],
+        seqs: np.ndarray,
+        poss: np.ndarray,
+        layers: np.ndarray,
+        examined: int,
+        terminated: bool,
+        newest_seq: int,
+    ) -> None:
+        """Account one scan and commit the refreshed evidence."""
+        stats = self.stats
+        stats["ksky_runs"] += 1
+        stats["points_examined"] += examined
+        if terminated:
+            stats["early_terminations"] += 1
+        if self.use_safe_inliers and self._is_fully_safe(p.seq, seqs,
+                                                         layers):
+            stats["fully_safe_marked"] += 1
+            self._states[p.seq] = _PointState(None, None, None, newest_seq,
+                                              True)
+            self._gen += 1
+        elif st is None:
+            self._states[p.seq] = _PointState(seqs, poss, layers, newest_seq,
+                                              False)
+            self._gen += 1
+        else:
+            if (st.seqs is not seqs or st.poss is not poss
+                    or st.layers is not layers):
                 st.seqs, st.poss, st.layers = seqs, poss, layers
-                st.last_seen_seq = newest_seq
+                self._gen += 1
+            st.last_seen_seq = newest_seq
 
     def _is_fully_safe(self, p_seq: int, seqs: np.ndarray,
                        layers: np.ndarray) -> bool:
@@ -236,39 +358,48 @@ class SOPDetector(Detector):
 
         One flattened pass builds ``(owner, layer, pos)`` arrays over all
         non-safe points; each due query is then a masked ``bincount`` --
-        the vectorized form of the inlier rule + Lemma 3 counting.
+        the vectorized form of the inlier rule + Lemma 3 counting.  The
+        flattened arrays are cached on the mutation generation, so a due
+        boundary that changed nothing since the last flatten (e.g. an
+        empty batch with stable evidence) reuses them.
         """
         pts = self.buffer.points
         out: Dict[int, FrozenSet[int]] = {}
         if not pts:
             return {qi: frozenset() for qi in due}
 
-        p_seqs: List[int] = []
-        p_poss: List[float] = []
-        lengths: List[int] = []
-        layer_chunks: List[np.ndarray] = []
-        pos_chunks: List[np.ndarray] = []
-        for p in pts:
-            st = self._states[p.seq]
-            if st.fully_safe:
-                continue  # inlier for every query, forever
-            p_seqs.append(p.seq)
-            p_poss.append(self.position(p))
-            n = st.entry_count()
-            lengths.append(n)
-            if n:
-                layer_chunks.append(st.layers)
-                pos_chunks.append(st.poss)
-        row = len(p_seqs)
-        seq_arr = np.asarray(p_seqs, dtype=np.int64)
-        ppos_arr = np.asarray(p_poss, dtype=np.float64)
-        len_arr = np.asarray(lengths, dtype=np.int64)
-        own_arr = (np.repeat(np.arange(row, dtype=np.int64), len_arr)
-                   if row else _EMPTY_I)
-        lay_arr = (np.concatenate(layer_chunks) if layer_chunks
-                   else _EMPTY_I)
-        epos_arr = (np.concatenate(pos_chunks) if pos_chunks
-                    else _EMPTY_F)
+        if self._flat_cache is None or self._flat_gen != self._gen:
+            p_seqs: List[int] = []
+            p_poss: List[float] = []
+            lengths: List[int] = []
+            layer_chunks: List[np.ndarray] = []
+            pos_chunks: List[np.ndarray] = []
+            for p in pts:
+                st = self._states[p.seq]
+                if st.fully_safe:
+                    continue  # inlier for every query, forever
+                p_seqs.append(p.seq)
+                p_poss.append(self.position(p))
+                n = st.entry_count()
+                lengths.append(n)
+                if n:
+                    layer_chunks.append(st.layers)
+                    pos_chunks.append(st.poss)
+            row = len(p_seqs)
+            seq_arr = np.asarray(p_seqs, dtype=np.int64)
+            ppos_arr = np.asarray(p_poss, dtype=np.float64)
+            len_arr = np.asarray(lengths, dtype=np.int64)
+            own_arr = (np.repeat(np.arange(row, dtype=np.int64), len_arr)
+                       if row else _EMPTY_I)
+            lay_arr = (np.concatenate(layer_chunks) if layer_chunks
+                       else _EMPTY_I)
+            epos_arr = (np.concatenate(pos_chunks) if pos_chunks
+                        else _EMPTY_F)
+            self._flat_cache = (row, seq_arr, ppos_arr, own_arr, lay_arr,
+                                epos_arr)
+            self._flat_gen = self._gen
+            self.stats["eval_flatten_rebuilds"] += 1
+        row, seq_arr, ppos_arr, own_arr, lay_arr, epos_arr = self._flat_cache
 
         for qi in due:
             q = self.group[qi]
@@ -291,6 +422,12 @@ class SOPDetector(Detector):
 
     def tracked_points(self) -> int:
         return len(self._states)
+
+    def work_stats(self) -> Dict[str, int]:
+        """Distance-row counter plus the refresh profile aggregates."""
+        stats = super().work_stats()
+        stats.update(self.profile.as_dict())
+        return stats
 
     # ------------------------------------------------------------ inspection
 

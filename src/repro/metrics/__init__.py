@@ -1,6 +1,9 @@
-"""Evaluation metrics: CPU per window, peak evidence memory, run results."""
+"""Evaluation metrics: CPU per window, peak evidence memory, run results,
+and refresh-engine observability counters."""
 
 from .meters import CpuMeter, MemoryMeter
+from .profiling import RefreshProfile
 from .results import RunResult, compare_outputs
 
-__all__ = ["CpuMeter", "MemoryMeter", "RunResult", "compare_outputs"]
+__all__ = ["CpuMeter", "MemoryMeter", "RefreshProfile", "RunResult",
+           "compare_outputs"]

@@ -1,0 +1,97 @@
+"""Refresh-engine observability: per-boundary timing and work counters.
+
+The batched K-SKY refresh engine (see ``repro.core.sop``) exists to turn
+O(live points) numpy kernel launches per boundary into O(1).  To *prove*
+that -- and to keep it provable as the code evolves --
+:class:`RefreshProfile` records, per processed boundary:
+
+* ``refresh_ns`` -- wall time spent inside ``SOPDetector._refresh``;
+* ``kernel_launches`` -- numpy distance-kernel launches during the refresh
+  (``WindowBuffer.kernel_calls`` delta: one per ``distances_from`` call or
+  pairwise tile);
+* ``batch_rows`` -- evaluated points whose scan went through the batched
+  pairwise kernel (0 on the per-point path);
+* ``python_insert_iters`` -- candidates examined by the skyband scans (the
+  paper's ``L``); the per-point path spends one Python loop iteration per
+  candidate, the batched path prunes provably-rejected candidates
+  vectorized, so this counter is path-independent while the interpreter
+  work it represents is not.
+
+Aggregates are cheap to keep and are surfaced through
+``SOPDetector.work_stats()`` into ``RunResult.work``;
+``benchmarks/bench_refresh.py`` turns them into the tracked
+``BENCH_refresh.json`` baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["RefreshProfile"]
+
+#: one per-boundary sample: (refresh_ns, kernel_launches, batch_rows,
+#: python_insert_iters)
+BoundarySample = Tuple[int, int, int, int]
+
+
+class RefreshProfile:
+    """Accumulates per-boundary refresh samples plus running totals."""
+
+    __slots__ = ("boundaries", "refresh_ns", "kernel_launches", "batch_rows",
+                 "python_insert_iters", "samples", "keep_samples")
+
+    def __init__(self, keep_samples: bool = True):
+        self.boundaries: int = 0
+        self.refresh_ns: int = 0
+        self.kernel_launches: int = 0
+        self.batch_rows: int = 0
+        self.python_insert_iters: int = 0
+        self.keep_samples = keep_samples
+        #: per-boundary samples (only when ``keep_samples``)
+        self.samples: List[BoundarySample] = []
+
+    def record(self, refresh_ns: int, kernel_launches: int, batch_rows: int,
+               python_insert_iters: int) -> None:
+        """Record one refreshed boundary."""
+        self.boundaries += 1
+        self.refresh_ns += refresh_ns
+        self.kernel_launches += kernel_launches
+        self.batch_rows += batch_rows
+        self.python_insert_iters += python_insert_iters
+        if self.keep_samples:
+            self.samples.append(
+                (refresh_ns, kernel_launches, batch_rows, python_insert_iters)
+            )
+
+    # ------------------------------------------------------------ summaries
+
+    @property
+    def mean_refresh_ms(self) -> float:
+        """Average refresh wall time per boundary in milliseconds."""
+        if not self.boundaries:
+            return 0.0
+        return self.refresh_ns / self.boundaries / 1e6
+
+    @property
+    def mean_kernel_launches(self) -> float:
+        """Average distance-kernel launches per boundary."""
+        if not self.boundaries:
+            return 0.0
+        return self.kernel_launches / self.boundaries
+
+    def as_dict(self) -> Dict[str, int]:
+        """Aggregate counters, ready to merge into ``work_stats()``."""
+        return {
+            "refresh_boundaries": self.boundaries,
+            "refresh_ns": self.refresh_ns,
+            "kernel_launches": self.kernel_launches,
+            "batch_rows": self.batch_rows,
+            "python_insert_iters": self.python_insert_iters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RefreshProfile({self.boundaries} boundaries, "
+            f"{self.mean_refresh_ms:.3f} ms/boundary, "
+            f"{self.mean_kernel_launches:.1f} kernels/boundary)"
+        )

@@ -3,14 +3,16 @@
 All detectors keep the active window in a :class:`WindowBuffer`.  It stores
 the points in arrival order together with a numpy matrix of their attribute
 vectors, so distance scans can be computed blockwise (``metric.to_block``)
-instead of point-by-point.  Eviction from the front (window expiry) is O(1)
-amortized via an offset that is compacted once the dead prefix outgrows the
-live suffix.
+or as one batched pairwise matrix (``metric.pairwise``) instead of
+point-by-point.  Arrival sequence numbers and timestamps are mirrored into
+cached numpy arrays so window expiry and time lookups are ``searchsorted``
+calls rather than Python loops.  Eviction from the front (window expiry)
+only moves an offset; storage is compacted once the dead prefix outgrows
+the live suffix.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -27,19 +29,27 @@ class WindowBuffer:
 
     * points are appended in strictly increasing ``seq`` order;
     * ``times`` are non-decreasing;
-    * the live region is ``self._pts[self._start:]`` and its coordinates are
-      ``self._mat[self._start:self._len]``.
+    * the live region is ``self._pts[self._start:]``; its coordinates are
+      ``self._mat[self._start:self._len]`` and its seqs/times are the same
+      slice of ``self._seqs``/``self._times``.
     """
 
     #: compact when the evicted prefix exceeds this many entries *and* the
     #: live suffix (keeps eviction O(1) amortized without frequent copies).
     _COMPACT_THRESHOLD = 4096
 
+    #: tile cap for batched pairwise kernels: at most this many float64
+    #: elements per distance-matrix tile (bounds transient memory to ~32 MB
+    #: of distances plus the broadcast diff workspace)
+    _PAIRWISE_TILE_ELEMS = 1 << 22
+
     def __init__(self, metric: DistanceMetric, dim: Optional[int] = None):
         self.metric = metric
         self.dim = dim
         self._pts: List[Point] = []
         self._mat: Optional[np.ndarray] = None
+        self._seqs: Optional[np.ndarray] = None
+        self._times: Optional[np.ndarray] = None
         self._len = 0  # rows of _mat in use (== len(_pts) before offsetting)
         self._start = 0
         # cached live-region list; rebuilt lazily after mutations so hot
@@ -48,6 +58,10 @@ class WindowBuffer:
         #: total point-to-point distance evaluations served by this buffer
         #: (the substrate-independent work metric; see repro.bench)
         self.distance_rows: int = 0
+        #: number of numpy distance-kernel launches (one per ``to_block``
+        #: call or pairwise tile); the batched refresh engine exists to
+        #: shrink this number, see ``repro.metrics.profiling``
+        self.kernel_calls: int = 0
 
     # ------------------------------------------------------------------ size
 
@@ -97,8 +111,11 @@ class WindowBuffer:
                 )
         rows = np.asarray([p.values for p in new], dtype=np.float64)
         self._ensure_capacity(self._len + len(new))
-        self._mat[self._len : self._len + len(new)] = rows
-        self._len += len(new)
+        end = self._len + len(new)
+        self._mat[self._len : end] = rows
+        self._seqs[self._len : end] = [p.seq for p in new]
+        self._times[self._len : end] = [p.time for p in new]
+        self._len = end
         self._pts.extend(new)
         self._view = None
 
@@ -106,6 +123,8 @@ class WindowBuffer:
         if self._mat is None:
             cap = max(1024, needed)
             self._mat = np.empty((cap, self.dim), dtype=np.float64)
+            self._seqs = np.empty(cap, dtype=np.int64)
+            self._times = np.empty(cap, dtype=np.float64)
             return
         if needed <= self._mat.shape[0]:
             return
@@ -115,22 +134,32 @@ class WindowBuffer:
         grown = np.empty((cap, self.dim), dtype=np.float64)
         grown[: self._len] = self._mat[: self._len]
         self._mat = grown
+        grown_seqs = np.empty(cap, dtype=np.int64)
+        grown_seqs[: self._len] = self._seqs[: self._len]
+        self._seqs = grown_seqs
+        grown_times = np.empty(cap, dtype=np.float64)
+        grown_times[: self._len] = self._times[: self._len]
+        self._times = grown_times
 
     def evict_before(self, start_pos: float, by_time: bool) -> List[Point]:
         """Evict and return points with position < ``start_pos``.
 
         ``by_time`` selects whether positions are ``time`` (time-based
-        windows) or ``seq`` (count-based windows).  Eviction only moves the
-        live-region offset; storage is compacted lazily.
+        windows) or ``seq`` (count-based windows).  The dead-prefix length
+        is found by ``searchsorted`` over the cached position array (both
+        are sorted by the buffer invariants), so a boundary costs O(log W)
+        instead of one Python iteration per expired point.  Eviction only
+        moves the live-region offset; storage is compacted lazily.
         """
-        i = self._start
-        n = len(self._pts)
-        if by_time:
-            while i < n and self._pts[i].time < start_pos:
-                i += 1
-        else:
-            while i < n and self._pts[i].seq < start_pos:
-                i += 1
+        arr = self._times if by_time else self._seqs
+        if arr is None or self._start >= self._len:
+            return []
+        i = self._start + int(
+            np.searchsorted(arr[self._start : self._len], start_pos,
+                            side="left")
+        )
+        if i == self._start:
+            return []
         evicted = self._pts[self._start : i]
         self._start = i
         self._view = None
@@ -143,6 +172,8 @@ class WindowBuffer:
         live = len(self._pts) - self._start
         if self._mat is not None:
             self._mat[:live] = self._mat[self._start : self._len]
+            self._seqs[:live] = self._seqs[self._start : self._len]
+            self._times[:live] = self._times[self._start : self._len]
         self._pts = self._pts[self._start :]
         self._len = live
         self._start = 0
@@ -172,9 +203,17 @@ class WindowBuffer:
         return i
 
     def first_index_at_or_after_time(self, t: float) -> int:
-        """Smallest live index whose point has ``time >= t`` (len if none)."""
-        times = [p.time for p in self.points]
-        return bisect_left(times, t)
+        """Smallest live index whose point has ``time >= t`` (len if none).
+
+        A ``searchsorted`` over the cached timestamp array -- O(log W), no
+        per-call list rebuild.
+        """
+        if self._times is None or self._start >= self._len:
+            return 0
+        return int(
+            np.searchsorted(self._times[self._start : self._len], t,
+                            side="left")
+        )
 
     # ------------------------------------------------------------- vectorized
 
@@ -192,8 +231,45 @@ class WindowBuffer:
         if hi is None:
             hi = block.shape[0]
         self.distance_rows += max(hi - lo, 0)
+        self.kernel_calls += 1
         q = np.asarray(values, dtype=np.float64)
         return self.metric.to_block(q, block[lo:hi])
+
+    def pairwise_block(
+        self, queries: np.ndarray, lo: int = 0, hi: Optional[int] = None
+    ) -> np.ndarray:
+        """Distance matrix from ``queries`` rows to live points ``[lo, hi)``.
+
+        This is the batched-refresh kernel: one (or a few tiled) numpy
+        calls replace one ``distances_from`` launch per evaluated point.
+        ``distance_rows`` accounting is preserved -- every row of the
+        returned matrix counts exactly as it would have through
+        ``distances_from``.  Row ``i`` is bit-identical to
+        ``distances_from(queries[i], lo, hi)`` (see
+        :meth:`DistanceMetric.pairwise`).
+        """
+        block = self.matrix()
+        if hi is None:
+            hi = block.shape[0]
+        n_cols = max(hi - lo, 0)
+        queries = np.asarray(queries, dtype=np.float64)
+        n_rows = queries.shape[0]
+        self.distance_rows += n_rows * n_cols
+        if n_rows == 0 or n_cols == 0:
+            return np.empty((n_rows, n_cols), dtype=np.float64)
+        sub = block[lo:hi]
+        per_tile = max(
+            1, self._PAIRWISE_TILE_ELEMS // max(n_cols * sub.shape[1], 1)
+        )
+        if per_tile >= n_rows:
+            self.kernel_calls += 1
+            return self.metric.pairwise(queries, sub)
+        out = np.empty((n_rows, n_cols), dtype=np.float64)
+        for r0 in range(0, n_rows, per_tile):
+            r1 = min(n_rows, r0 + per_tile)
+            out[r0:r1] = self.metric.pairwise(queries[r0:r1], sub)
+            self.kernel_calls += 1
+        return out
 
     def neighbor_count(
         self, values: Sequence[float], radius: float, lo: int = 0,
