@@ -33,7 +33,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro import SOPDetector, make_synthetic_points
+from repro import SOPDetector, compare_outputs, make_synthetic_points
 from repro.bench import build_workload, default_ranges
 
 N_QUERIES = 8
@@ -94,8 +94,24 @@ def run_config(spec: str, window: int, seed: int = 11) -> dict:
         runs[label] = (det, res)
     det_b, res_b = runs["batched"]
     det_p, res_p = runs["per_point"]
-    equal = (res_b.outputs == res_p.outputs
-             and res_b.memory.peak_units == res_p.memory.peak_units)
+    # the refactor oracle: answers, memory accounting, and deterministic
+    # work counters must all be identical between the two strategies
+    diffs = compare_outputs(res_p.outputs, res_b.outputs)
+    if res_b.memory.peak_units != res_p.memory.peak_units:
+        diffs.append(
+            f"peak memory units: per-point {res_p.memory.peak_units} "
+            f"vs batched {res_b.memory.peak_units}"
+        )
+    for key in ("ksky_runs", "points_examined", "fully_safe_marked"):
+        if det_b.stats[key] != det_p.stats[key]:
+            diffs.append(f"stats[{key}]: per-point {det_p.stats[key]} "
+                         f"vs batched {det_b.stats[key]}")
+    if det_b.buffer.distance_rows != det_p.buffer.distance_rows:
+        diffs.append(
+            f"distance_rows: per-point {det_p.buffer.distance_rows} "
+            f"vs batched {det_b.buffer.distance_rows}"
+        )
+    equal = not diffs
     speedup = (det_p.profile.refresh_ns / det_b.profile.refresh_ns
                if det_b.profile.refresh_ns else float("nan"))
     return {
@@ -109,6 +125,7 @@ def run_config(spec: str, window: int, seed: int = 11) -> dict:
         "per_point": _profile_dict(det_p),
         "refresh_speedup": round(speedup, 3),
         "outputs_equal": equal,
+        "equality_diffs": diffs[:5],
     }
 
 
@@ -128,9 +145,10 @@ def run_grid(windows, workloads) -> dict:
                 f"  outputs_equal={cfg['outputs_equal']}"
             )
             if not cfg["outputs_equal"]:
+                details = "\n  ".join(cfg["equality_diffs"])
                 raise SystemExit(
-                    f"FATAL: batched and per-point outputs diverge on "
-                    f"workload {spec} window {window}"
+                    f"FATAL: batched and per-point runs diverge on "
+                    f"workload {spec} window {window}:\n  {details}"
                 )
     return {
         "schema": "bench_refresh/v1",

@@ -1,7 +1,5 @@
 """Benchmark-suite configuration: print figure reports after the run."""
 
-import pytest
-
 
 def pytest_configure(config):
     config.addinivalue_line(

@@ -26,7 +26,22 @@ interface and produce identical outlier sets; the benchmark harness under
 
 from .api import detect_outliers, outlier_flags
 from .baselines.base import Detector
-from .checkpoint import CheckpointedRun, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CheckpointSubscriber,
+    CheckpointedRun,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .engine import (
+    BatchedRefresh,
+    DetectorConfig,
+    DueQueryEvaluator,
+    ExecutorSubscriber,
+    PerPointRefresh,
+    RefreshEngine,
+    SafetyTracker,
+    StreamExecutor,
+)
 from .baselines.leap import LEAPDetector
 from .baselines.mcod import MCODDetector
 from .baselines.naive import NaiveDetector, brute_force_outliers
@@ -83,6 +98,7 @@ from .alerts import (
     Alert,
     AlertRouter,
     AlertSink,
+    AlertSubscriber,
     CallbackSink,
     CollectingSink,
     CountingSink,
@@ -127,13 +143,23 @@ __all__ = [
     "Alert",
     "AlertRouter",
     "AlertSink",
+    "AlertSubscriber",
+    "BatchedRefresh",
     "CallbackSink",
+    "CheckpointSubscriber",
     "CheckpointedRun",
     "CollectingSink",
     "CountingSink",
+    "DetectorConfig",
+    "DueQueryEvaluator",
     "DynamicSOPDetector",
+    "ExecutorSubscriber",
     "GridIndex",
     "IndexedWindow",
+    "PerPointRefresh",
+    "RefreshEngine",
+    "SafetyTracker",
+    "StreamExecutor",
     "available_metrics",
     "batches_by_boundary",
     "brute_force_outliers",

@@ -24,13 +24,14 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 
 from .baselines.base import Detector
 from .core.point import Point
+from .engine.executor import ExecutorSubscriber, StreamExecutor
 from .metrics.results import RunResult
-from .streams.source import batches_by_boundary
 
 __all__ = [
     "Alert",
     "AlertRouter",
     "AlertSink",
+    "AlertSubscriber",
     "CallbackSink",
     "CollectingSink",
     "CountingSink",
@@ -167,6 +168,24 @@ class AlertRouter:
             sink.close()
 
 
+class AlertSubscriber(ExecutorSubscriber):
+    """Executor subscriber that routes boundary outputs to an AlertRouter.
+
+    Dispatch happens at ``on_boundary_end`` (after the executor archived
+    the boundary's outputs); the router's sinks are closed when the
+    stream ends.
+    """
+
+    def __init__(self, router: AlertRouter):
+        self.router = router
+
+    def on_boundary_end(self, t, outputs) -> None:
+        self.router.dispatch(t, outputs)
+
+    def on_stream_end(self, result) -> None:
+        self.router.close()
+
+
 def run_with_alerts(
     detector: Detector,
     points: Sequence[Point],
@@ -174,20 +193,11 @@ def run_with_alerts(
     dedupe: str = "transitions",
     until: Optional[int] = None,
 ) -> RunResult:
-    """Run a detector over a finite stream, routing outputs to sinks."""
+    """Run a detector over a finite stream, routing outputs to sinks.
+
+    Legacy facade: a :class:`~repro.engine.StreamExecutor` with an
+    :class:`AlertSubscriber` attached.
+    """
     router = AlertRouter(detector.group, sinks, dedupe=dedupe)
-    result = RunResult(detector=detector.name)
-    for t, batch in batches_by_boundary(
-        points, detector.swift.slide, detector.group.kind, until
-    ):
-        result.cpu.start()
-        outputs = detector.step(t, batch)
-        result.cpu.stop()
-        result.boundaries += 1
-        result.memory.sample(detector.memory_units(),
-                             detector.tracked_points())
-        for qi, seqs in outputs.items():
-            result.outputs[(qi, t)] = frozenset(seqs)
-        router.dispatch(t, outputs)
-    router.close()
-    return result
+    executor = StreamExecutor(detector, [AlertSubscriber(router)])
+    return executor.run(points, until=until)

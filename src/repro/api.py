@@ -15,6 +15,7 @@ import numpy as np
 from .core.point import Point, points_from_array
 from .core.queries import OutlierQuery, QueryGroup
 from .core.sop import SOPDetector
+from .engine.config import DetectorConfig
 from .metrics.results import RunResult
 from .streams.windows import COUNT, WindowSpec
 
@@ -52,12 +53,17 @@ def detect_outliers(
     kind: str = COUNT,
     metric="euclidean",
     until: Optional[int] = None,
+    config: Optional[DetectorConfig] = None,
 ) -> RunResult:
     """Run a workload over array-like data in one call.
 
     ``data`` is an iterable of attribute rows (list of lists, numpy array,
     or pre-built :class:`Point` sequence); ``queries`` mixes
     :class:`OutlierQuery` objects and ``(r, k, win, slide)`` tuples.
+
+    Pass ``config`` (a :class:`~repro.engine.DetectorConfig`) to control
+    the detector's ablation switches and tuning knobs; when given it wins
+    over the ``metric`` argument, which is kept for backward compatibility.
 
     >>> result = detect_outliers(rows, [(0.5, 3, 100, 20)])
     >>> result.outliers_for_query(0)
@@ -68,7 +74,9 @@ def detect_outliers(
     else:
         points = points_from_array(data, times=times)
     group = QueryGroup(_as_queries(queries, kind))
-    detector = SOPDetector(group, metric=metric)
+    if config is None:
+        config = DetectorConfig(metric=metric)
+    detector = SOPDetector(group, config=config)
     return detector.run(points, until=until)
 
 
@@ -81,6 +89,7 @@ def outlier_flags(
     times: Optional[Sequence[float]] = None,
     kind: str = COUNT,
     metric="euclidean",
+    config: Optional[DetectorConfig] = None,
 ) -> np.ndarray:
     """Boolean mask: was each input row *ever* reported as an outlier?
 
@@ -90,6 +99,7 @@ def outlier_flags(
     """
     result = detect_outliers(
         data, [(r, k, win, slide)], times=times, kind=kind, metric=metric,
+        config=config,
     )
     n = len(data)
     mask = np.zeros(n, dtype=bool)

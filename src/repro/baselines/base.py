@@ -6,17 +6,32 @@ batch of points with position in ``[t - slide, t)``, the detector processes
 it, and returns the outlier sets of exactly the member queries due at ``t``.
 Driving every algorithm on the same boundaries keeps outputs key-compatible
 so equivalence can be asserted verbatim.
+
+A detector implements one of two granularities:
+
+* :meth:`Detector.run_boundary` -- the staged pipeline form.  The detector
+  executes its stages in its own algorithmic order and fires the lifecycle
+  hooks (``on_ingest`` / ``on_expire`` / ``on_refresh`` / ``on_evaluate``)
+  after each stage.  All built-in detectors implement this.
+* :meth:`Detector.step` -- the legacy monolithic form.  Third-party
+  detectors that only implement ``step`` still work everywhere: the
+  default ``run_boundary`` wraps it, firing ``on_ingest`` at batch
+  delivery and ``on_evaluate`` with the outputs (expire/refresh stages are
+  not observable through a monolith).
+
+The single drive loop is :class:`~repro.engine.StreamExecutor`;
+:meth:`Detector.run` is a thin wrapper over it.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Optional, Sequence
+from abc import ABC
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from ..core.point import Point, get_metric
 from ..core.queries import QueryGroup
+from ..engine.executor import NULL_HOOKS, StreamExecutor
 from ..metrics.results import RunResult
-from ..streams.source import batches_by_boundary
 from ..streams.windows import TIME
 
 __all__ = ["Detector"]
@@ -36,13 +51,31 @@ class Detector(ABC):
 
     # ------------------------------------------------------------ interface
 
-    @abstractmethod
     def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
         """Ingest one swift batch, process boundary ``t``.
 
         Returns ``{query_index: outlier seqs}`` for every member query due
         at ``t`` (possibly empty sets; queries not due are absent).
         """
+        return self.run_boundary(t, batch, NULL_HOOKS)
+
+    def run_boundary(self, t: int, batch: Sequence[Point],
+                     hooks) -> Dict[int, FrozenSet[int]]:
+        """Process boundary ``t`` as a staged pipeline, firing ``hooks``.
+
+        The default wraps a monolithic :meth:`step` override for
+        detectors that predate the staged runtime; implement this method
+        directly to expose real stage boundaries.
+        """
+        if type(self).step is Detector.step:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement step() or "
+                "run_boundary()"
+            )
+        hooks.on_ingest(t, batch)
+        outputs = self.step(t, batch)
+        hooks.on_evaluate(t, outputs)
+        return outputs
 
     def memory_units(self) -> int:
         """Current evidence-entry count (see ``repro.metrics.meters``)."""
@@ -90,19 +123,20 @@ class Detector(ABC):
     def run(self, points: Sequence[Point], until: Optional[int] = None) -> RunResult:
         """Process a finite stream end-to-end with metering.
 
-        ``until`` bounds the last boundary (defaults to just past the final
-        point so every point is delivered and evaluated at least once).
+        Thin wrapper over :class:`~repro.engine.StreamExecutor` (attach
+        subscribers by building the executor yourself).  ``until`` bounds
+        the last boundary (defaults to just past the final point so every
+        point is delivered and evaluated at least once).
         """
-        result = RunResult(detector=self.name)
-        for t, batch in batches_by_boundary(
-            points, self.swift.slide, self.group.kind, until
-        ):
-            result.cpu.start()
-            outputs = self.step(t, batch)
-            result.cpu.stop()
-            result.boundaries += 1
-            result.memory.sample(self.memory_units(), self.tracked_points())
-            for qi, seqs in outputs.items():
-                result.outputs[(qi, t)] = frozenset(seqs)
-        result.work = self.work_stats()
-        return result
+        return StreamExecutor(self).run(points, until=until)
+
+    # ------------------------------------------------------- stage helpers
+
+    def _expire_swift(self, t: int) -> List[Point]:
+        """Evict points that left the swift window at boundary ``t``.
+
+        Shared expire stage for buffer-backed detectors; returns the
+        evicted points so ``on_expire`` can report them.
+        """
+        start = max(0, t - self.swift.win)
+        return self.buffer.evict_before(start, self.by_time)

@@ -183,16 +183,23 @@ class LEAPDetector(Detector):
             for q in group.queries
         ]
 
-    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+    def run_boundary(self, t: int, batch: Sequence[Point],
+                     hooks) -> Dict[int, FrozenSet[int]]:
+        """Staged pipeline: ingest -> expire (per-instance forget) ->
+        evaluate; LEAP probes lazily at evaluation, so there is no
+        refresh stage."""
         self.buffer.extend(batch)
+        hooks.on_ingest(t, batch)
         start = float(max(0, t - self.swift.win))
         evicted = self.buffer.evict_before(start, self.by_time)
         if evicted:
             for inst in self.instances:
                 inst.forget_before(start)
+        hooks.on_expire(t, evicted)
         out: Dict[int, FrozenSet[int]] = {}
         for qi in self.group.due_members(t):
             out[qi] = self.instances[qi].evaluate(t)
+        hooks.on_evaluate(t, out)
         return out
 
     def memory_units(self) -> int:

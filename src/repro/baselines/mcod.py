@@ -140,17 +140,24 @@ class MCODDetector(Detector):
 
     # --------------------------------------------------------------- step
 
-    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+    def run_boundary(self, t: int, batch: Sequence[Point],
+                     hooks) -> Dict[int, FrozenSet[int]]:
+        """Staged pipeline in MCOD's algorithmic order: expire *before*
+        ingest (arrivals must not join dissolving clusters), then the PD
+        prune as the refresh stage, then due-query evaluation."""
         start = float(max(0, t - self.swift.win))
-        self._expire(start)
+        evicted = self._expire(start)
+        hooks.on_expire(t, evicted)
         self.buffer.extend(batch)
         for offset, p in enumerate(batch):
             self._insert(p, len(self.buffer) - len(batch) + offset)
+        hooks.on_ingest(t, batch)
         self._prune_pd(start)
+        hooks.on_refresh(t)
         due = self.group.due_members(t)
-        if not due:
-            return {}
-        return self._evaluate_due(due, t)
+        out = self._evaluate_due(due, t) if due else {}
+        hooks.on_evaluate(t, out)
+        return out
 
     # ------------------------------------------------------------- insertion
 
@@ -265,7 +272,7 @@ class MCODDetector(Detector):
 
     # --------------------------------------------------------------- expiry
 
-    def _expire(self, window_start: float) -> None:
+    def _expire(self, window_start: float) -> List[Point]:
         evicted = self.buffer.evict_before(window_start, self.by_time)
         for p in evicted:
             self._pd.pop(p.seq, None)
@@ -277,6 +284,7 @@ class MCODDetector(Detector):
                 dissolved.append(cid)
         for cid in dissolved:
             self._dissolve(cid)
+        return evicted
 
     def _dissolve(self, cid: int) -> None:
         """Shrunk cluster: surviving members revert to PD with fresh lists."""

@@ -59,11 +59,21 @@ class NaiveDetector(Detector):
     def _extra_distance_rows(self) -> int:
         return self._direct_rows
 
-    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+    def run_boundary(self, t: int, batch: Sequence[Point],
+                     hooks) -> Dict[int, FrozenSet[int]]:
+        """Staged pipeline: ingest -> expire -> evaluate (no refresh --
+        naive carries no per-point evidence between boundaries)."""
         self.buffer.extend(batch)
-        start = max(0, t - self.swift.win)
-        self.buffer.evict_before(start, self.by_time)
-        due = self.group.due_members(t)
+        hooks.on_ingest(t, batch)
+        evicted = self._expire_swift(t)
+        hooks.on_expire(t, evicted)
+        out = self._evaluate_due(self.group.due_members(t), t)
+        hooks.on_evaluate(t, out)
+        return out
+
+    def _evaluate_due(
+        self, due: Sequence[int], t: int
+    ) -> Dict[int, FrozenSet[int]]:
         out: Dict[int, FrozenSet[int]] = {}
         for qi in due:
             q = self.group[qi]

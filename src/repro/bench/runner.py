@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.point import Point
 from ..core.queries import QueryGroup
+from ..engine.executor import StreamExecutor
 from ..metrics.results import RunResult
 
 __all__ = ["AlgoSpec", "SeriesResult", "run_series", "DEFAULT_ALGOS"]
@@ -120,5 +121,6 @@ def run_series(
                 series.runs[algo.name].append(None)
                 continue
             detector = algo.factory(group)
-            series.runs[algo.name].append(detector.run(points, until=until))
+            executor = StreamExecutor(detector)
+            series.runs[algo.name].append(executor.run(points, until=until))
     return series

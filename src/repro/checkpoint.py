@@ -13,7 +13,19 @@ serialized: it is rebuilt by the detector's normal refresh on the first
 boundary after restore, which keeps the format tiny, versionable, and
 valid across algorithm/implementation upgrades.
 
+The detector's :class:`~repro.engine.DetectorConfig` (ablation switches,
+metric, tuning knobs) *is* serialized when the detector carries one: a
+checkpoint restored into a differently-configured detector would silently
+diverge in CPU/memory accounting, so :func:`load_checkpoint` restores the
+saved config by default and fails loudly on a mismatch when a custom
+factory builds a detector with a different config.
+
 Format: a JSON header line followed by one JSON line per retained point.
+
+Periodic checkpointing is an executor concern: :class:`CheckpointSubscriber`
+listens to ``on_boundary_end`` and rewrites the file every ``interval``
+boundaries; :class:`CheckpointedRun` is the legacy facade over a
+:class:`~repro.engine.StreamExecutor` with that subscriber attached.
 """
 
 from __future__ import annotations
@@ -24,10 +36,16 @@ from typing import Callable, Optional, Tuple, Union
 
 from .core.point import Point
 from .core.queries import OutlierQuery, QueryGroup
-from .core.sop import SOPDetector
+from .engine.config import DetectorConfig
+from .engine.executor import ExecutorSubscriber, StreamExecutor
 from .streams.windows import COUNT, TIME, WindowSpec
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointedRun"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointSubscriber",
+    "CheckpointedRun",
+]
 
 PathLike = Union[str, Path]
 
@@ -63,6 +81,9 @@ def save_checkpoint(detector, last_boundary: int, path: PathLike) -> int:
             for q in group.queries
         ],
     }
+    config = getattr(detector, "config", None)
+    if isinstance(config, DetectorConfig):
+        header["config"] = config.as_dict()
     with open(path, "w") as fh:
         fh.write(json.dumps(header) + "\n")
         for p in points:
@@ -75,12 +96,18 @@ def save_checkpoint(detector, last_boundary: int, path: PathLike) -> int:
 def load_checkpoint(
     path: PathLike,
     factory: Optional[Callable[[QueryGroup], object]] = None,
+    allow_config_mismatch: bool = False,
 ) -> Tuple[object, int]:
     """Restore ``(detector, last_boundary)`` from a checkpoint file.
 
-    ``factory`` builds the detector from the restored workload (default:
-    :class:`~repro.core.sop.SOPDetector` — restoring into a different
-    implementation is explicitly supported, since evidence is rebuilt).
+    ``factory`` builds the detector from the restored workload.  The
+    default builds an :class:`~repro.core.sop.SOPDetector` with the
+    checkpoint's saved :class:`~repro.engine.DetectorConfig`, so ablation
+    switches survive the restart.  Restoring into a different
+    implementation (e.g. MCOD) is explicitly supported, since evidence is
+    rebuilt -- but if the factory-built detector carries a config that
+    differs from the saved one, the restore fails loudly (pass
+    ``allow_config_mismatch=True`` for a deliberate reconfiguration).
     """
     with open(path) as fh:
         try:
@@ -95,6 +122,14 @@ def load_checkpoint(
         kind = header.get("kind", COUNT)
         if kind not in (COUNT, TIME):
             raise ValueError(f"{path}: bad window kind {kind!r}")
+        saved_config: Optional[DetectorConfig] = None
+        if "config" in header:
+            try:
+                saved_config = DetectorConfig.from_dict(header["config"])
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}: malformed detector config"
+                ) from exc
         queries = [
             OutlierQuery(
                 r=float(e["r"]), k=int(e["k"]),
@@ -120,36 +155,78 @@ def load_checkpoint(
             except (KeyError, TypeError, ValueError) as exc:
                 raise ValueError(f"{path}:{lineno}: malformed point") from exc
     group = QueryGroup(queries)
-    detector = (factory or SOPDetector)(group)
+    if factory is None:
+        from .core.sop import SOPDetector
+
+        detector = (SOPDetector(group, config=saved_config)
+                    if saved_config is not None else SOPDetector(group))
+    else:
+        detector = factory(group)
+        restored_config = getattr(detector, "config", None)
+        if (saved_config is not None
+                and isinstance(restored_config, DetectorConfig)
+                and restored_config != saved_config
+                and not allow_config_mismatch):
+            raise ValueError(
+                f"{path}: detector config mismatch at restore "
+                f"(checkpoint vs factory): "
+                f"{saved_config.diff(restored_config)}; pass "
+                "allow_config_mismatch=True to reconfigure deliberately"
+            )
     if points:
         detector.warm_start(points)
     return detector, int(header["last_boundary"])
 
 
-class CheckpointedRun:
-    """Drive a detector with periodic checkpoints.
+class CheckpointSubscriber(ExecutorSubscriber):
+    """Executor subscriber that persists the detector periodically.
 
     ``interval`` counts processed boundaries between checkpoint writes;
     the file is rewritten atomically-ish (write then replace) so a crash
     mid-write leaves the previous checkpoint intact.
     """
 
-    def __init__(self, detector, path: PathLike, interval: int = 10):
+    def __init__(self, path: PathLike, interval: int = 10):
         if interval < 1:
             raise ValueError("interval must be >= 1")
-        self.detector = detector
         self.path = Path(path)
         self.interval = interval
         self._since = 0
         self.checkpoints_written = 0
 
-    def step(self, t: int, batch):
-        out = self.detector.step(t, batch)
+    def on_boundary_end(self, t, outputs) -> None:
         self._since += 1
         if self._since >= self.interval:
             tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-            save_checkpoint(self.detector, t, tmp)
+            save_checkpoint(self.executor.detector, t, tmp)
             tmp.replace(self.path)
             self.checkpoints_written += 1
             self._since = 0
-        return out
+
+
+class CheckpointedRun:
+    """Drive a detector with periodic checkpoints.
+
+    Legacy facade: a :class:`~repro.engine.StreamExecutor` with a
+    :class:`CheckpointSubscriber` attached.  ``step`` keeps the historical
+    call signature; ``run`` processes a finite stream end-to-end with the
+    executor's metering.
+    """
+
+    def __init__(self, detector, path: PathLike, interval: int = 10):
+        self.detector = detector
+        self.subscriber = CheckpointSubscriber(path, interval)
+        self.executor = StreamExecutor(detector, [self.subscriber])
+        self.path = self.subscriber.path
+        self.interval = interval
+
+    @property
+    def checkpoints_written(self) -> int:
+        return self.subscriber.checkpoints_written
+
+    def step(self, t: int, batch):
+        return self.executor.step(t, batch)
+
+    def run(self, points, until: Optional[int] = None):
+        """Process a finite stream end-to-end, checkpointing as it goes."""
+        return self.executor.run(points, until=until)

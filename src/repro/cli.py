@@ -28,6 +28,7 @@ from .core.multi_attr import MultiAttributeDetector
 from .core.parser import parse_workload
 from .core.queries import QueryGroup
 from .core.sop import SOPDetector
+from .engine.config import DetectorConfig
 from .metrics.results import compare_outputs
 from .streams.replay import (
     load_points_csv,
@@ -97,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--out", default=None, help="results JSONL path")
     det.add_argument("--until", type=int, default=None,
                      help="stop at this boundary")
+    det.add_argument("--no-batched-refresh", action="store_true",
+                     help="run K-SKY refresh point-at-a-time (SOP only)")
+    det.add_argument("--batch-min-rows", type=int, default=8,
+                     help="batched-refresh crossover: below this many rows "
+                          "per boundary, fall back to per-point (SOP only)")
+    det.add_argument("--lazy", action="store_true",
+                     help="refresh evidence only at boundaries with due "
+                          "queries instead of eagerly every slide (SOP only)")
 
     cmp_ = sub.add_parser("compare", help="diff two archived result files")
     cmp_.add_argument("--a", required=True)
@@ -163,13 +172,27 @@ def _cmd_detect(args) -> int:
     points = load_points_csv(args.stream)
     queries = load_workload(args.workload)
     factory = _ALGORITHMS[args.algorithm]
+    config = DetectorConfig(
+        eager=not args.lazy,
+        use_batched_refresh=not args.no_batched_refresh,
+        batch_min_rows=args.batch_min_rows,
+    )
+    sop_kwargs = {}
+    if args.algorithm == "sop":
+        sop_kwargs["config"] = config
+    elif config != DetectorConfig():
+        print(f"note: SOP tuning flags are ignored by {args.algorithm}")
     attr_sets = {q.attributes for q in queries}
     if len(attr_sets) > 1:
-        detector = MultiAttributeDetector(queries, factory=factory)
+        detector = MultiAttributeDetector(queries, factory=factory,
+                                          **sop_kwargs)
     else:
-        detector = factory(QueryGroup(queries))
+        detector = factory(QueryGroup(queries), **sop_kwargs)
     result = detector.run(points, until=args.until)
     print(result.summary())
+    work = detector.work_stats()
+    print("work: " + ", ".join(
+        f"{key}={work[key]}" for key in sorted(work)))
     if args.out:
         n = save_results_jsonl(result.outputs, args.out)
         print(f"archived {n} (query, boundary) outputs to {args.out}")

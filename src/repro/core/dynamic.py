@@ -29,20 +29,36 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 from ..core.point import Point
 from ..core.queries import OutlierQuery, QueryGroup
 from ..core.sop import SOPDetector
+from ..engine.config import DetectorConfig
 from ..streams.windows import SwiftSchedule
 
 __all__ = ["DynamicSOPDetector"]
 
 
 class DynamicSOPDetector:
-    """SOP over a workload that may change between boundaries."""
+    """SOP over a workload that may change between boundaries.
+
+    Configuration is normalized into one
+    :class:`~repro.engine.DetectorConfig` at construction (either pass
+    ``config=`` directly or the legacy keyword switches) and is carried
+    through every workload rebuild, so registering or withdrawing a query
+    never resets ablation flags to defaults.
+    """
 
     name = "sop-dynamic"
 
     def __init__(self, queries: Sequence[OutlierQuery] = (),
-                 metric="euclidean", **sop_kwargs):
-        self._metric = metric
-        self._sop_kwargs = dict(sop_kwargs)
+                 metric="euclidean", config: Optional[DetectorConfig] = None,
+                 **sop_kwargs):
+        if config is None:
+            config = DetectorConfig(metric=metric, **sop_kwargs)
+        elif sop_kwargs:
+            raise TypeError(
+                "pass either config= or individual switches, not both: "
+                f"{sorted(sop_kwargs)}"
+            )
+        #: the config every rebuilt inner detector inherits
+        self.config = config
         self._queries: Dict[int, OutlierQuery] = {}
         self._order: List[int] = []
         self._next_handle = 0
@@ -130,7 +146,7 @@ class DynamicSOPDetector:
             self._stale = False
             return
         group = QueryGroup([self._queries[h] for h in self._order])
-        inner = SOPDetector(group, metric=self._metric, **self._sop_kwargs)
+        inner = SOPDetector(group, config=self.config)
         if retained:
             inner.buffer.extend(retained)
         self._inner = inner

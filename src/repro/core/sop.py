@@ -14,6 +14,17 @@ Execution model per swift boundary ``t`` (``slide = gcd`` of member slides,
    counting skyband entries (inlier rule + Lemma 3), vectorized across the
    population.
 
+Since the staged-runtime refactor, that pipeline is explicit: the stages
+live in :meth:`SOPDetector.run_boundary` (driven by
+:class:`~repro.engine.StreamExecutor`, which fires lifecycle hooks after
+each stage), the refresh stage delegates to a pluggable
+:class:`~repro.engine.RefreshEngine` strategy (per-point vs. batched --
+selected from :class:`~repro.engine.DetectorConfig`), the safe-for-all
+test lives in :class:`~repro.engine.SafetyTracker`, and due-query
+classification in :class:`~repro.engine.DueQueryEvaluator`.  This module
+keeps what is irreducibly SOP's: the evidence arrays, their commitment
+rules, and the least-examination merge.
+
 Per-point evidence is held as numpy arrays ``(seqs, poss, layers)`` in
 arrival-descending order.  The least-examination step is then three array
 operations: mask out expired entries, mask out entries the new arrivals
@@ -24,21 +35,20 @@ likewise vectorized.
 
 **Batched refresh engine.**  The surviving points of a boundary all scan
 the *same* new arrivals, so their distance evidence is one
-``(survivors x new arrivals)`` matrix.  The batched path computes it with
-a single ``WindowBuffer.pairwise_block`` kernel, hashes the whole matrix
-to layers with one ``RGrid.layers_of`` call, and feeds each row to
+``(survivors x new arrivals)`` matrix.  The batched strategy computes it
+with a single ``WindowBuffer.pairwise_block`` kernel, hashes the whole
+matrix to layers with one ``RGrid.layers_of`` call, and feeds each row to
 ``KSkyRunner.scan_precomputed`` -- a pure-Python int loop that replicates
 the per-point scan's candidate order, chunk boundaries, and termination
 cadence exactly, so outputs and ``memory_units()`` are identical to the
 per-point path (``tests/test_sop_batched.py`` asserts this across the
 Table 1 grid).  From-scratch scans (new points, or with least examination
-disabled) stay per-point: against a full window, early termination skips
-most of the input, which a precomputed full matrix would forfeit.  The
-crossover heuristic ``batch_min_rows`` keeps tiny batches on the
-per-point path where one kernel launch amortizes nothing.
+disabled) stay per-point below the ``batch_min_rows`` crossover: against
+a full window, early termination skips most of the input, which a
+precomputed full matrix would forfeit.
 
-Ablation switches (used by ``benchmarks/bench_ablations.py`` and
-``benchmarks/bench_refresh.py``):
+Ablation switches (fields of :class:`~repro.engine.DetectorConfig`, used
+by ``benchmarks/bench_ablations.py`` and ``benchmarks/bench_refresh.py``):
 
 * ``eager=False`` -- refresh skybands only at boundaries where some member
   query is due, instead of at every swift boundary;
@@ -53,12 +63,15 @@ All switches preserve output equality; they only trade CPU/memory.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 import numpy as np
 
 from ..baselines.base import Detector
+from ..engine.config import DetectorConfig
+from ..engine.evaluator import DueQueryEvaluator
+from ..engine.refresh import BatchedRefresh, PerPointRefresh, RefreshEngine
+from ..engine.safety import SafetyTracker
 from ..metrics.profiling import RefreshProfile
 from ..streams.buffer import WindowBuffer
 from .ksky import KSkyResult, KSkyRunner
@@ -118,7 +131,15 @@ def _arrays_from_lsky(sky: LSky):
 
 
 class SOPDetector(Detector):
-    """Sharing-aware outlier processing over a query workload."""
+    """Sharing-aware outlier processing over a query workload.
+
+    Configuration comes from a :class:`~repro.engine.DetectorConfig`
+    (``config=``); the individual keyword arguments are the legacy
+    spelling and remain supported -- an explicit ``config`` wins over
+    them.  The ablation switches are mirrored as attributes for
+    introspection; the refresh strategy is selected once at construction
+    (swap :attr:`refresh_engine` directly to change it afterwards).
+    """
 
     name = "sop"
 
@@ -132,18 +153,37 @@ class SOPDetector(Detector):
         use_least_examination: bool = True,
         use_batched_refresh: bool = True,
         batch_min_rows: int = 8,
+        config: Optional[DetectorConfig] = None,
     ):
-        super().__init__(group, metric)
+        if config is None:
+            config = DetectorConfig(
+                metric=metric,
+                chunk_size=chunk_size,
+                eager=eager,
+                use_safe_inliers=use_safe_inliers,
+                use_least_examination=use_least_examination,
+                use_batched_refresh=use_batched_refresh,
+                batch_min_rows=batch_min_rows,
+            )
+        super().__init__(group, config.metric)
+        #: the single source of truth for every switch and knob; persisted
+        #: by checkpoints and preserved across dynamic-workload rebuilds
+        self.config = config
         self.plan: SkybandPlan = parse_workload(group)
-        self.runner = KSkyRunner(self.plan, chunk_size=chunk_size)
+        self.runner = KSkyRunner(self.plan, chunk_size=config.chunk_size)
         self.buffer = WindowBuffer(self.metric)
-        self.eager = eager
-        self.use_safe_inliers = use_safe_inliers
-        self.use_least_examination = use_least_examination
-        self.use_batched_refresh = use_batched_refresh
-        #: crossover heuristic: batches smaller than this run per-point
-        #: (one kernel launch amortizes nothing over so few rows)
-        self.batch_min_rows = max(1, batch_min_rows)
+        self.eager = config.eager
+        self.use_safe_inliers = config.use_safe_inliers
+        self.use_least_examination = config.use_least_examination
+        self.use_batched_refresh = config.use_batched_refresh
+        self.batch_min_rows = max(1, config.batch_min_rows)
+        #: pluggable refresh strategy (see repro.engine.refresh)
+        self.refresh_engine: RefreshEngine = (
+            BatchedRefresh(self.batch_min_rows) if config.use_batched_refresh
+            else PerPointRefresh()
+        )
+        #: safe-for-all component (see repro.engine.safety)
+        self.safety = SafetyTracker(self.plan)
         self._states: Dict[int, _PointState] = {}
         #: counters for ablation studies and optimality tests
         self.stats = {
@@ -159,111 +199,70 @@ class SOPDetector(Detector):
         # mutation generation: bumped whenever the live population or any
         # evidence array changes; the due-query evaluation cache keys on it
         self._gen = 0
-        self._flat_gen = -1
-        self._flat_cache: Optional[Tuple] = None
+        #: due-query classification component (see repro.engine.evaluator)
+        self.evaluator = DueQueryEvaluator(self)
 
     # ------------------------------------------------------------- pipeline
 
-    def step(self, t: int, batch: Sequence[Point]) -> Dict[int, FrozenSet[int]]:
+    def run_boundary(self, t: int, batch: Sequence[Point], hooks
+                     ) -> Dict[int, FrozenSet[int]]:
+        """Alg. 3 as an explicit stage pipeline, firing lifecycle hooks."""
+        self.ingest(t, batch)
+        hooks.on_ingest(t, batch)
+        evicted = self.expire(t)
+        hooks.on_expire(t, evicted)
+        due = self.group.due_members(t)
+        if self.eager or due:
+            self._refresh(float(max(0, t - self.swift.win)))
+            hooks.on_refresh(t)
+        out = self._evaluate_due(due, t) if due else {}
+        hooks.on_evaluate(t, out)
+        return out
+
+    # ----------------------------------------------------------- the stages
+
+    def ingest(self, t: int, batch: Sequence[Point]) -> None:
+        """Stage 1a: append the boundary's batch to the live window."""
         self.buffer.extend(batch)
         if batch:
             self._gen += 1
+
+    def expire(self, t: int) -> List[Point]:
+        """Stage 1b: evict points that left the swift window at ``t``."""
         start = max(0, t - self.swift.win)
         evicted = self.buffer.evict_before(start, self.by_time)
         if evicted:
             self._gen += 1
             for p in evicted:
                 self._states.pop(p.seq, None)
-        due = self.group.due_members(t)
-        if self.eager or due:
-            self._refresh(float(start))
-        if not due:
-            return {}
-        return self._evaluate_due(due, t)
-
-    # ------------------------------------------------------------ refreshing
+        return evicted
 
     def _refresh(self, window_start: float) -> None:
-        """Run K-SKY for every live, non-fully-safe point (Alg. 3 loop).
+        """Stages 2+3: K-SKY refresh + safety, via the refresh strategy."""
+        self.refresh_engine.refresh(self, window_start)
 
-        New points (and everything, with least examination disabled) scan
-        from scratch per-point; surviving points are grouped by their
-        first-unseen index and, past the ``batch_min_rows`` crossover, go
-        through the batched pairwise kernel.
-        """
-        buf = self.buffer
-        pts = buf.points
-        if not pts:
-            return
-        t0 = time.perf_counter_ns()
-        kernels0 = buf.kernel_calls
-        examined0 = self.stats["points_examined"]
-        batch_rows = 0
+    def _evaluate_due(
+        self, due: Sequence[int], t: int
+    ) -> Dict[int, FrozenSet[int]]:
+        """Stage 4: classify each due query from the shared evidence."""
+        return self.evaluator.evaluate(due, t)
 
-        newest_seq = pts[-1].seq
-        base_seq = pts[0].seq
-        n_live = len(pts)
-        states = self._states
-        #: from-scratch scans, as (live index, point, state-or-None)
-        scratch: List[Tuple[int, Point, Optional[_PointState]]] = []
-        #: new_from index -> [(live index, point, state), ...]
-        survivors: Dict[int, List[Tuple[int, Point, _PointState]]] = {}
-        for idx, p in enumerate(pts):
-            st = states.get(p.seq)
-            if st is not None and st.fully_safe:
-                continue
-            if st is None or not self.use_least_examination:
-                scratch.append((idx, p, st))
-            else:
-                new_from = min(max(st.last_seen_seq + 1 - base_seq, 0),
-                               n_live)
-                survivors.setdefault(new_from, []).append((idx, p, st))
+    # ------------------------------------------------- evidence commitment
 
-        if self.use_batched_refresh and len(scratch) >= self.batch_min_rows:
-            batch_rows += len(scratch)
-            self.stats["batched_scans"] += len(scratch)
-            results = self.runner.scan_batched(
-                [idx for idx, _, _ in scratch],
-                [p.seq for _, p, _ in scratch], buf, 0)
-            for (_, p, st), result in zip(scratch, results):
-                seqs, poss, layers = _arrays_from_lsky(result.lsky)
-                self._store(p, st, seqs, poss, layers, result.examined,
-                            result.terminated_early, newest_seq)
-        else:
-            for _, p, st in scratch:
-                result = self.runner.run_new_point(p.values, p.seq, buf)
-                seqs, poss, layers = _arrays_from_lsky(result.lsky)
-                self._store(p, st, seqs, poss, layers, result.examined,
-                            result.terminated_early, newest_seq)
+    def _commit_scratch(self, p: Point, st: Optional[_PointState],
+                        result: KSkyResult, newest_seq: int) -> None:
+        """Commit one from-scratch scan result."""
+        seqs, poss, layers = _arrays_from_lsky(result.lsky)
+        self._store(p, st, seqs, poss, layers, result.examined,
+                    result.terminated_early, newest_seq)
 
-        for new_from, group in survivors.items():
-            if (self.use_batched_refresh and n_live > new_from
-                    and len(group) >= self.batch_min_rows):
-                batch_rows += len(group)
-                self.stats["batched_scans"] += len(group)
-                results = self.runner.scan_batched(
-                    [idx for idx, _, _ in group],
-                    [p.seq for _, p, _ in group], buf, new_from)
-                for (_, p, st), scan in zip(group, results):
-                    seqs, poss, layers, examined = self._merge_survivor(
-                        st, scan, window_start)
-                    self._store(p, st, seqs, poss, layers, examined,
-                                scan.terminated_early, newest_seq)
-            else:
-                for _, p, st in group:
-                    scan = self.runner.scan_new_arrivals(p.values, p.seq,
-                                                         buf, new_from)
-                    seqs, poss, layers, examined = self._merge_survivor(
-                        st, scan, window_start)
-                    self._store(p, st, seqs, poss, layers, examined,
-                                scan.terminated_early, newest_seq)
-
-        self.profile.record(
-            time.perf_counter_ns() - t0,
-            buf.kernel_calls - kernels0,
-            batch_rows,
-            self.stats["points_examined"] - examined0,
-        )
+    def _commit_survivor(self, p: Point, st: _PointState, scan: KSkyResult,
+                         window_start: float, newest_seq: int) -> None:
+        """Merge one survivor's new-arrival scan with its old evidence."""
+        seqs, poss, layers, examined = self._merge_survivor(
+            st, scan, window_start)
+        self._store(p, st, seqs, poss, layers, examined,
+                    scan.terminated_early, newest_seq)
 
     def _merge_survivor(
         self, st: _PointState, scan: KSkyResult, window_start: float
@@ -311,8 +310,8 @@ class SOPDetector(Detector):
         stats["points_examined"] += examined
         if terminated:
             stats["early_terminations"] += 1
-        if self.use_safe_inliers and self._is_fully_safe(p.seq, seqs,
-                                                         layers):
+        if self.use_safe_inliers and self.safety.is_fully_safe(p.seq, seqs,
+                                                               layers):
             stats["fully_safe_marked"] += 1
             self._states[p.seq] = _PointState(None, None, None, newest_seq,
                                               True)
@@ -330,89 +329,8 @@ class SOPDetector(Detector):
 
     def _is_fully_safe(self, p_seq: int, seqs: np.ndarray,
                        layers: np.ndarray) -> bool:
-        """Safe-for-all test (Sec. 4.1/4.2), vectorized.
-
-        ``p`` is fully safe iff for every sub-group ``k_j`` the ``k_j``-th
-        smallest layer among *succeeding* entries is at or below the
-        sub-group's smallest member layer.
-        """
-        plan = self.plan
-        if not len(seqs) or len(seqs) < plan.k_list[0]:
-            return False
-        # entries are seq-descending: successors form the prefix
-        n_succ = int(np.searchsorted(-seqs, -p_seq, side="left"))
-        if n_succ < plan.k_list[0]:
-            return False
-        succ_sorted = np.sort(layers[:n_succ])
-        ks = plan.subgroup_ks
-        if n_succ < ks[-1]:
-            return False
-        return bool(np.all(succ_sorted[ks - 1] <= plan.subgroup_min_layers))
-
-    # ------------------------------------------------------------ evaluation
-
-    def _evaluate_due(
-        self, due: Sequence[int], t: int
-    ) -> Dict[int, FrozenSet[int]]:
-        """Classify each due query's population from the shared evidence.
-
-        One flattened pass builds ``(owner, layer, pos)`` arrays over all
-        non-safe points; each due query is then a masked ``bincount`` --
-        the vectorized form of the inlier rule + Lemma 3 counting.  The
-        flattened arrays are cached on the mutation generation, so a due
-        boundary that changed nothing since the last flatten (e.g. an
-        empty batch with stable evidence) reuses them.
-        """
-        pts = self.buffer.points
-        out: Dict[int, FrozenSet[int]] = {}
-        if not pts:
-            return {qi: frozenset() for qi in due}
-
-        if self._flat_cache is None or self._flat_gen != self._gen:
-            p_seqs: List[int] = []
-            p_poss: List[float] = []
-            lengths: List[int] = []
-            layer_chunks: List[np.ndarray] = []
-            pos_chunks: List[np.ndarray] = []
-            for p in pts:
-                st = self._states[p.seq]
-                if st.fully_safe:
-                    continue  # inlier for every query, forever
-                p_seqs.append(p.seq)
-                p_poss.append(self.position(p))
-                n = st.entry_count()
-                lengths.append(n)
-                if n:
-                    layer_chunks.append(st.layers)
-                    pos_chunks.append(st.poss)
-            row = len(p_seqs)
-            seq_arr = np.asarray(p_seqs, dtype=np.int64)
-            ppos_arr = np.asarray(p_poss, dtype=np.float64)
-            len_arr = np.asarray(lengths, dtype=np.int64)
-            own_arr = (np.repeat(np.arange(row, dtype=np.int64), len_arr)
-                       if row else _EMPTY_I)
-            lay_arr = (np.concatenate(layer_chunks) if layer_chunks
-                       else _EMPTY_I)
-            epos_arr = (np.concatenate(pos_chunks) if pos_chunks
-                        else _EMPTY_F)
-            self._flat_cache = (row, seq_arr, ppos_arr, own_arr, lay_arr,
-                                epos_arr)
-            self._flat_gen = self._gen
-            self.stats["eval_flatten_rebuilds"] += 1
-        row, seq_arr, ppos_arr, own_arr, lay_arr, epos_arr = self._flat_cache
-
-        for qi in due:
-            q = self.group[qi]
-            ws = float(max(0, t - q.win))
-            m_q = self.plan.query_layers[qi]
-            if row == 0:
-                out[qi] = frozenset()
-                continue
-            emask = (lay_arr <= m_q) & (epos_arr >= ws)
-            counts = np.bincount(own_arr[emask], minlength=row)
-            sel = (ppos_arr >= ws) & (counts < q.k)
-            out[qi] = frozenset(int(s) for s in seq_arr[sel])
-        return out
+        """Safe-for-all test; see :class:`~repro.engine.SafetyTracker`."""
+        return self.safety.is_fully_safe(p_seq, seqs, layers)
 
     # -------------------------------------------------------------- metrics
 

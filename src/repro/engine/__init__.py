@@ -1,0 +1,46 @@
+"""repro.engine: the staged detector runtime.
+
+The paper's SOP execution model is a *pipeline* per swift boundary --
+ingest -> expire -> K-SKY refresh -> safe-inlier pruning -> due-query
+evaluation (Alg. 3, Sec. 4.3/5).  This package makes that pipeline an
+explicit architecture instead of an implementation detail of one class:
+
+* :class:`DetectorConfig` -- one immutable record of every ablation switch
+  and tuning knob, flowing uniformly through the API, the CLI, dynamic
+  workload rebuilds, and checkpoint save/restore;
+* :class:`StreamExecutor` -- the single drive loop.  It pushes
+  boundary-aligned batches through any detector and fires lifecycle hooks
+  (``on_ingest`` / ``on_expire`` / ``on_refresh`` / ``on_evaluate`` /
+  ``on_boundary_end``) that metering, checkpointing, and alert routing
+  subscribe to instead of re-implementing their own loops;
+* :class:`RefreshEngine` -- the strategy interface for the K-SKY refresh
+  stage, with :class:`PerPointRefresh` (one distance kernel per evaluated
+  point, the paper's literal Alg. 3 loop) and :class:`BatchedRefresh`
+  (one pairwise kernel per boundary chunk) implementations;
+* :class:`SafetyTracker` -- the safe-for-all test (Sec. 4.1/4.2) as a
+  separable component;
+* :class:`DueQueryEvaluator` -- the vectorized due-query classification
+  (inlier rule + Lemma 3) with its generation-keyed flatten cache.
+
+Every strategy and subscriber combination preserves output equality; the
+layers only organize *where* work happens (``docs/architecture.md`` maps
+each layer back to the paper).
+"""
+
+from .config import DetectorConfig
+from .evaluator import DueQueryEvaluator
+from .executor import ExecutorSubscriber, NULL_HOOKS, StreamExecutor
+from .refresh import BatchedRefresh, PerPointRefresh, RefreshEngine
+from .safety import SafetyTracker
+
+__all__ = [
+    "BatchedRefresh",
+    "DetectorConfig",
+    "DueQueryEvaluator",
+    "ExecutorSubscriber",
+    "NULL_HOOKS",
+    "PerPointRefresh",
+    "RefreshEngine",
+    "SafetyTracker",
+    "StreamExecutor",
+]

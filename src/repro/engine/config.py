@@ -1,0 +1,82 @@
+"""DetectorConfig: one record for every ablation switch and tuning knob.
+
+Before this existed, the ablation flags (``eager``, ``use_safe_inliers``,
+``use_least_examination``, ``use_batched_refresh``, ``batch_min_rows``)
+and the metric/chunking knobs were loose keyword arguments that each layer
+of the system re-spelled: the API hard-coded defaults, the CLI exposed
+none of them, dynamic rebuilds forwarded an opaque kwargs dict, and
+checkpoints dropped them entirely -- a restored detector silently ran with
+default switches.  :class:`DetectorConfig` is the single source of truth
+those layers now share; it is JSON-serializable so checkpoints can persist
+it and fail loudly on mismatch at restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Mapping
+
+from ..core.point import DistanceMetric, available_metrics
+
+__all__ = ["DetectorConfig"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Immutable configuration of a (SOP-family) detector.
+
+    ``metric`` accepts a registered metric name or a
+    :class:`~repro.core.point.DistanceMetric` instance; instances are
+    normalized to their registered name so configs compare and serialize
+    by value.
+    """
+
+    metric: str = "euclidean"
+    chunk_size: int = 256
+    #: refresh skybands at every swift boundary (False: only at boundaries
+    #: where some member query is due)
+    eager: bool = True
+    use_safe_inliers: bool = True
+    use_least_examination: bool = True
+    use_batched_refresh: bool = True
+    #: crossover heuristic: batches smaller than this run per-point
+    batch_min_rows: int = 8
+
+    def __post_init__(self):
+        if (isinstance(self.metric, DistanceMetric)
+                and self.metric.name in available_metrics()):
+            object.__setattr__(self, "metric", self.metric.name)
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.batch_min_rows < 1:
+            raise ValueError("batch_min_rows must be >= 1")
+
+    # -------------------------------------------------------- serialization
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (checkpoint headers, reports)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DetectorConfig":
+        """Inverse of :meth:`as_dict`; unknown keys fail loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown DetectorConfig field(s): {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+    def replace(self, **changes) -> "DetectorConfig":
+        """A copy with the given fields changed."""
+        return replace(self, **changes)
+
+    def diff(self, other: "DetectorConfig") -> Dict[str, Any]:
+        """Field-by-field differences as ``{field: (self, other)}``."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if a != b:
+                out[f.name] = (a, b)
+        return out

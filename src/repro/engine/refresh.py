@@ -1,0 +1,160 @@
+"""Refresh strategies: how the K-SKY refresh stage launches its scans.
+
+Every swift boundary, each live non-fully-safe point refreshes its skyband
+(Alg. 3 loop): new points scan the window from scratch, surviving points
+scan only the new arrivals plus their unexpired previous skyband (least
+examination, Alg. 1 / Lemma 2).  *What* is scanned is fixed by the paper;
+*how* the scans are launched is a strategy:
+
+* :class:`PerPointRefresh` -- one vectorized distance kernel per evaluated
+  point (the paper's literal per-point loop; also the fallback for tiny
+  batches);
+* :class:`BatchedRefresh` -- the surviving points of one boundary all scan
+  the same candidate range, so their evidence is one ``(rows x candidates)``
+  matrix computed with a single pairwise kernel per chunk
+  (``KSkyRunner.scan_batched``); scan order, chunk boundaries, and
+  termination cadence replicate the per-point path exactly, so outputs and
+  work accounting are identical (``tests/test_sop_batched.py`` is the
+  gate).
+
+The strategy owns the shared partition step (scratch vs. survivors, from
+``_PointState.last_seen_seq``) and the per-boundary profile sample; the
+detector keeps evidence commitment (:meth:`SOPDetector._commit_scratch` /
+``_commit_survivor``) because committing touches safety state and the
+mutation generation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+__all__ = ["RefreshEngine", "PerPointRefresh", "BatchedRefresh"]
+
+
+class RefreshEngine:
+    """Strategy interface for the refresh stage of one boundary.
+
+    :meth:`refresh` partitions the live population and dispatches the two
+    scan families to the subclass; subclass scan methods return how many
+    rows went through a batched kernel (for the refresh profile).
+    """
+
+    #: short strategy name, surfaced in reprs and reports
+    name = "refresh"
+
+    def refresh(self, det, window_start: float) -> None:
+        """Run K-SKY for every live, non-fully-safe point of ``det``."""
+        buf = det.buffer
+        pts = buf.points
+        if not pts:
+            return
+        t0 = time.perf_counter_ns()
+        kernels0 = buf.kernel_calls
+        examined0 = det.stats["points_examined"]
+
+        newest_seq = pts[-1].seq
+        base_seq = pts[0].seq
+        n_live = len(pts)
+        states = det._states
+        #: from-scratch scans, as (live index, point, state-or-None)
+        scratch: List[Tuple[int, object, object]] = []
+        #: new_from index -> [(live index, point, state), ...]
+        survivors: Dict[int, List[Tuple[int, object, object]]] = {}
+        for idx, p in enumerate(pts):
+            st = states.get(p.seq)
+            if st is not None and st.fully_safe:
+                continue
+            if st is None or not det.use_least_examination:
+                scratch.append((idx, p, st))
+            else:
+                new_from = min(max(st.last_seen_seq + 1 - base_seq, 0),
+                               n_live)
+                survivors.setdefault(new_from, []).append((idx, p, st))
+
+        batch_rows = self._scan_scratch(det, scratch, newest_seq)
+        for new_from, group in survivors.items():
+            batch_rows += self._scan_survivors(
+                det, new_from, group, window_start, n_live, newest_seq)
+
+        det.profile.record(
+            time.perf_counter_ns() - t0,
+            buf.kernel_calls - kernels0,
+            batch_rows,
+            det.stats["points_examined"] - examined0,
+        )
+
+    # ------------------------------------------------------------ interface
+
+    def _scan_scratch(self, det, scratch, newest_seq) -> int:
+        """Scan the from-scratch rows; returns rows batched."""
+        raise NotImplementedError
+
+    def _scan_survivors(self, det, new_from, group, window_start, n_live,
+                        newest_seq) -> int:
+        """Scan one survivor group (shared first-unseen index)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class PerPointRefresh(RefreshEngine):
+    """One distance kernel per evaluated point (the pre-batching engine)."""
+
+    name = "per-point"
+
+    def _scan_scratch(self, det, scratch, newest_seq) -> int:
+        for _, p, st in scratch:
+            result = det.runner.run_new_point(p.values, p.seq, det.buffer)
+            det._commit_scratch(p, st, result, newest_seq)
+        return 0
+
+    def _scan_survivors(self, det, new_from, group, window_start, n_live,
+                        newest_seq) -> int:
+        for _, p, st in group:
+            scan = det.runner.scan_new_arrivals(p.values, p.seq, det.buffer,
+                                                new_from)
+            det._commit_survivor(p, st, scan, window_start, newest_seq)
+        return 0
+
+
+class BatchedRefresh(PerPointRefresh):
+    """Shared pairwise kernels past a crossover; per-point below it.
+
+    ``batch_min_rows`` is the crossover heuristic: groups smaller than it
+    run through the inherited per-point path, where one kernel launch
+    amortizes nothing over so few rows.
+    """
+
+    name = "batched"
+
+    def __init__(self, batch_min_rows: int = 8):
+        self.batch_min_rows = max(1, batch_min_rows)
+
+    def _scan_scratch(self, det, scratch, newest_seq) -> int:
+        if len(scratch) < self.batch_min_rows:
+            return super()._scan_scratch(det, scratch, newest_seq)
+        det.stats["batched_scans"] += len(scratch)
+        results = det.runner.scan_batched(
+            [idx for idx, _, _ in scratch],
+            [p.seq for _, p, _ in scratch], det.buffer, 0)
+        for (_, p, st), result in zip(scratch, results):
+            det._commit_scratch(p, st, result, newest_seq)
+        return len(scratch)
+
+    def _scan_survivors(self, det, new_from, group, window_start, n_live,
+                        newest_seq) -> int:
+        if n_live <= new_from or len(group) < self.batch_min_rows:
+            return super()._scan_survivors(det, new_from, group,
+                                           window_start, n_live, newest_seq)
+        det.stats["batched_scans"] += len(group)
+        results = det.runner.scan_batched(
+            [idx for idx, _, _ in group],
+            [p.seq for _, p, _ in group], det.buffer, new_from)
+        for (_, p, st), scan in zip(group, results):
+            det._commit_survivor(p, st, scan, window_start, newest_seq)
+        return len(group)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchedRefresh(batch_min_rows={self.batch_min_rows})"

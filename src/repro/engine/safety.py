@@ -1,0 +1,43 @@
+"""SafetyTracker: the safe-for-all test (Sec. 4.1/4.2) as a component.
+
+A point is a *safe inlier* for query ``q`` once enough of its succeeding
+neighbors guarantee inlier status for the rest of its lifetime; it is
+*fully safe* (safe for all) when that holds for every member query, at
+which point the detector drops its evidence and never evaluates it again.
+This module isolates the vectorized test from the detector so the refresh
+strategies and the evaluation layer share one implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SafetyTracker"]
+
+
+class SafetyTracker:
+    """Vectorized safe-for-all decisions against one skyband plan."""
+
+    def __init__(self, plan):
+        self.plan = plan
+
+    def is_fully_safe(self, p_seq: int, seqs: np.ndarray,
+                      layers: np.ndarray) -> bool:
+        """Safe-for-all test for one refreshed evidence array.
+
+        ``p`` is fully safe iff for every sub-group ``k_j`` the ``k_j``-th
+        smallest layer among *succeeding* entries is at or below the
+        sub-group's smallest member layer.  Entries are seq-descending, so
+        successors form the prefix.
+        """
+        plan = self.plan
+        if not len(seqs) or len(seqs) < plan.k_list[0]:
+            return False
+        n_succ = int(np.searchsorted(-seqs, -p_seq, side="left"))
+        if n_succ < plan.k_list[0]:
+            return False
+        succ_sorted = np.sort(layers[:n_succ])
+        ks = plan.subgroup_ks
+        if n_succ < ks[-1]:
+            return False
+        return bool(np.all(succ_sorted[ks - 1] <= plan.subgroup_min_layers))

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import (
-    Alert,
     AlertRouter,
     CallbackSink,
     CollectingSink,

@@ -105,6 +105,37 @@ class TestDetect:
         results = load_results_jsonl(out)
         assert max(t for _, t in results) <= 200
 
+    def test_detect_prints_work_stats(self, tmp_path, stream_csv,
+                                      workload_json, capsys):
+        assert main(["detect", "--stream", str(stream_csv),
+                     "--workload", str(workload_json)]) == 0
+        out = capsys.readouterr().out
+        assert "work:" in out and "distance_rows=" in out
+
+    def test_detect_tuning_flags_keep_outputs_identical(self, tmp_path,
+                                                        stream_csv,
+                                                        workload_json):
+        """--no-batched-refresh / --batch-min-rows / --lazy change the
+        execution strategy, never the answers."""
+        base = tmp_path / "base.jsonl"
+        main(["detect", "--stream", str(stream_csv), "--workload",
+              str(workload_json), "--out", str(base)])
+        for flags in (["--no-batched-refresh"],
+                      ["--batch-min-rows", "100"],
+                      ["--lazy"]):
+            out = tmp_path / "variant.jsonl"
+            assert main(["detect", "--stream", str(stream_csv),
+                         "--workload", str(workload_json),
+                         "--out", str(out)] + flags) == 0
+            assert main(["compare", "--a", str(base), "--b", str(out)]) == 0
+
+    def test_tuning_flags_noted_for_non_sop(self, stream_csv, workload_json,
+                                            capsys):
+        assert main(["detect", "--stream", str(stream_csv),
+                     "--workload", str(workload_json),
+                     "--algorithm", "mcod", "--lazy"]) == 0
+        assert "ignored by mcod" in capsys.readouterr().out
+
     def test_detect_multiattr_workload(self, tmp_path, stream_csv):
         import json
         wl = tmp_path / "wl.json"

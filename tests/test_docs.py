@@ -7,7 +7,6 @@ actual package so renames surface as failures.
 import re
 from pathlib import Path
 
-import pytest
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"
 ROOT = Path(__file__).resolve().parent.parent

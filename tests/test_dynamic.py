@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     DynamicSOPDetector,
-    NaiveDetector,
     OutlierQuery,
     QueryGroup,
     SOPDetector,

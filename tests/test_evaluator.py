@@ -1,6 +1,5 @@
 """Unit tests for outlier-status evaluation and safe-inlier logic."""
 
-import pytest
 
 from repro import (
     KSkyRunner,

@@ -1,9 +1,7 @@
 """Cross-module integration scenarios stitching several subsystems."""
 
-import pytest
 
 from repro import (
-    AlertRouter,
     CollectingSink,
     DynamicSOPDetector,
     LEAPDetector,

@@ -1,6 +1,5 @@
 """Edge-case tests for internal APIs added by the optimized paths."""
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -1,6 +1,5 @@
 """General K-SKY behaviour beyond the paper's worked examples."""
 
-import numpy as np
 import pytest
 
 from repro import (

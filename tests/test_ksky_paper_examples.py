@@ -7,7 +7,6 @@ distance reproduces the figures exactly.  ``p_i`` of the paper is
 ``seq = i - 1`` here.
 """
 
-import pytest
 
 from repro import (
     KSkyRunner,

@@ -1,12 +1,10 @@
 """Unit tests for the LEAP baseline: probing, safety, independence."""
 
-import pytest
 
 from repro import (
     LEAPDetector,
     OutlierQuery,
     QueryGroup,
-    SOPDetector,
     WindowSpec,
 )
 

@@ -1,6 +1,5 @@
 """Unit tests for the MCOD baseline: clusters, PD lists, equivalence."""
 
-import pytest
 
 from repro import (
     MCODDetector,

@@ -1,6 +1,5 @@
 """Unit tests for the brute-force oracle itself (verified by hand)."""
 
-import pytest
 
 from repro import (
     NaiveDetector,

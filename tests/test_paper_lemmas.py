@@ -4,7 +4,6 @@ These complement the equivalence suite by exercising each claim in the
 specific scenario the paper uses to argue it.
 """
 
-import pytest
 
 from repro import (
     KSkyRunner,

@@ -1,6 +1,5 @@
 """Unit tests for the point model and distance metrics."""
 
-import math
 
 import numpy as np
 import pytest

@@ -10,7 +10,6 @@ paper proves:
 * schedule arithmetic (every member boundary is a swift boundary).
 """
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -28,7 +27,6 @@ from repro import (
     euclidean,
     parse_workload,
 )
-from repro.core.evaluator import is_fully_safe, safe_min_layers
 
 # ---------------------------------------------------------------- strategies
 

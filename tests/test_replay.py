@@ -7,7 +7,6 @@ from repro import (
     load_points_csv,
     load_results_jsonl,
     load_trades_csv,
-    make_stock_points,
     make_synthetic_points,
     save_points_csv,
     save_results_jsonl,

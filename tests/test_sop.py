@@ -3,14 +3,11 @@
 import pytest
 
 from repro import (
-    NaiveDetector,
     OutlierQuery,
-    Point,
     QueryGroup,
     SOPDetector,
     WindowSpec,
     compare_outputs,
-    make_synthetic_points,
 )
 
 from conftest import assert_equivalent, line_points
