@@ -29,8 +29,11 @@ from .baselines.base import Detector
 from .checkpoint import (
     CheckpointSubscriber,
     CheckpointedRun,
+    ShardedCheckpointSubscriber,
     load_checkpoint,
+    load_sharded_checkpoint,
     save_checkpoint,
+    save_sharded_checkpoint,
 )
 from .engine import (
     BatchedRefresh,
@@ -77,8 +80,24 @@ from .core.sop import SOPDetector
 from .metrics.meters import CpuMeter, MemoryMeter
 from .metrics.profiling import RefreshProfile
 from .metrics.results import RunResult, compare_outputs
+from .runtime import (
+    Backend,
+    Merger,
+    ProcessPoolBackend,
+    Runtime,
+    SerialBackend,
+    ShardExecutor,
+    StreamPartitioner,
+    make_backend,
+)
+from .metrics.results import merge_work
 from .streams.buffer import WindowBuffer
-from .streams.source import ListSource, StreamSource, batches_by_boundary
+from .streams.source import (
+    ListSource,
+    StreamSource,
+    batches_by_boundary,
+    stream_end_boundary,
+)
 from .streams.replay import (
     load_points_csv,
     load_results_jsonl,
@@ -144,6 +163,7 @@ __all__ = [
     "AlertRouter",
     "AlertSink",
     "AlertSubscriber",
+    "Backend",
     "BatchedRefresh",
     "CallbackSink",
     "CheckpointSubscriber",
@@ -156,10 +176,17 @@ __all__ = [
     "ExecutorSubscriber",
     "GridIndex",
     "IndexedWindow",
+    "Merger",
     "PerPointRefresh",
+    "ProcessPoolBackend",
     "RefreshEngine",
+    "Runtime",
     "SafetyTracker",
+    "SerialBackend",
+    "ShardExecutor",
+    "ShardedCheckpointSubscriber",
     "StreamExecutor",
+    "StreamPartitioner",
     "available_metrics",
     "batches_by_boundary",
     "brute_force_outliers",
@@ -173,6 +200,9 @@ __all__ = [
     "is_outlier_for_query",
     "load_checkpoint",
     "load_points_csv",
+    "load_sharded_checkpoint",
+    "make_backend",
+    "merge_work",
     "load_results_jsonl",
     "load_trades_csv",
     "load_workload",
@@ -189,8 +219,10 @@ __all__ = [
     "save_checkpoint",
     "save_points_csv",
     "save_results_jsonl",
+    "save_sharded_checkpoint",
     "save_trades_csv",
     "save_workload",
     "safe_min_layers",
     "sky_evaluate",
+    "stream_end_boundary",
 ]

@@ -169,11 +169,13 @@ class AlertRouter:
 
 
 class AlertSubscriber(ExecutorSubscriber):
-    """Executor subscriber that routes boundary outputs to an AlertRouter.
+    """Subscriber that routes boundary outputs to an AlertRouter.
 
-    Dispatch happens at ``on_boundary_end`` (after the executor archived
+    Dispatch happens at ``on_boundary_end`` (after the driver archived
     the boundary's outputs); the router's sinks are closed when the
-    stream ends.
+    stream ends.  Attaches to a :class:`~repro.engine.StreamExecutor` or
+    a :class:`~repro.runtime.Runtime` alike -- on a sharded runtime the
+    outputs it sees are the merged (exact, ownership-deduped) ones.
     """
 
     def __init__(self, router: AlertRouter):
@@ -193,11 +195,20 @@ def run_with_alerts(
     dedupe: str = "transitions",
     until: Optional[int] = None,
 ) -> RunResult:
-    """Run a detector over a finite stream, routing outputs to sinks.
+    """Run a detector (or sharded runtime) over a finite stream, routing
+    outputs to sinks.
 
-    Legacy facade: a :class:`~repro.engine.StreamExecutor` with an
-    :class:`AlertSubscriber` attached.
+    Facade: the driver -- a :class:`~repro.engine.StreamExecutor`, or the
+    :class:`~repro.runtime.Runtime` itself when one is passed -- with an
+    :class:`AlertSubscriber` attached.  A process-backend runtime replays
+    boundary outputs to the router after the workers return; alert
+    content is identical, only the delivery is deferred.
     """
+    from .runtime import Runtime
+
     router = AlertRouter(detector.group, sinks, dedupe=dedupe)
+    if isinstance(detector, Runtime):
+        detector.subscribe(AlertSubscriber(router))
+        return detector.run(points, until=until)
     executor = StreamExecutor(detector, [AlertSubscriber(router)])
     return executor.run(points, until=until)

@@ -14,9 +14,9 @@ import numpy as np
 
 from .core.point import Point, points_from_array
 from .core.queries import OutlierQuery, QueryGroup
-from .core.sop import SOPDetector
 from .engine.config import DetectorConfig
 from .metrics.results import RunResult
+from .runtime import Runtime
 from .streams.windows import COUNT, WindowSpec
 
 __all__ = ["detect_outliers", "outlier_flags"]
@@ -54,6 +54,8 @@ def detect_outliers(
     metric="euclidean",
     until: Optional[int] = None,
     config: Optional[DetectorConfig] = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> RunResult:
     """Run a workload over array-like data in one call.
 
@@ -64,6 +66,9 @@ def detect_outliers(
     Pass ``config`` (a :class:`~repro.engine.DetectorConfig`) to control
     the detector's ablation switches and tuning knobs; when given it wins
     over the ``metric`` argument, which is kept for backward compatibility.
+    ``shards``/``backend`` (overriding the config's fields) partition the
+    stream across several detector instances -- exact, and worthwhile for
+    large windows; the default is the classic single-detector run.
 
     >>> result = detect_outliers(rows, [(0.5, 3, 100, 20)])
     >>> result.outliers_for_query(0)
@@ -76,8 +81,8 @@ def detect_outliers(
     group = QueryGroup(_as_queries(queries, kind))
     if config is None:
         config = DetectorConfig(metric=metric)
-    detector = SOPDetector(group, config=config)
-    return detector.run(points, until=until)
+    runtime = Runtime(group, config=config, shards=shards, backend=backend)
+    return runtime.run(points, until=until)
 
 
 def outlier_flags(

@@ -139,17 +139,11 @@ class _LeapInstance:
     def _index_at(self, window_start: float) -> int:
         if self.by_time:
             return self.buffer.first_index_at_or_after_time(window_start)
-        pts = self.buffer.points
-        if not pts:
-            return 0
-        return min(max(int(window_start) - pts[0].seq, 0), len(pts))
+        return self.buffer.first_index_at_or_after_seq(int(window_start))
 
     def _index_of_seq_ceil(self, seq: int) -> int:
-        """Live index of ``seq``, clamped into the live range."""
-        pts = self.buffer.points
-        if not pts:
-            return 0
-        return min(max(seq - pts[0].seq, 0), len(pts))
+        """Smallest live index with ``seq >=`` the given value (clamped)."""
+        return self.buffer.first_index_at_or_after_seq(seq)
 
     def forget_before(self, window_start: float) -> None:
         """Drop evidence of points that left this query's window."""

@@ -388,10 +388,7 @@ class MCODDetector(Detector):
     def _population_start(self, window_start: float) -> int:
         if self.by_time:
             return self.buffer.first_index_at_or_after_time(window_start)
-        pts = self.buffer.points
-        if not pts:
-            return 0
-        return min(max(int(window_start) - pts[0].seq, 0), len(pts))
+        return self.buffer.first_index_at_or_after_seq(int(window_start))
 
     # -------------------------------------------------------------- metrics
 

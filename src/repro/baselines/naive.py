@@ -90,8 +90,7 @@ class NaiveDetector(Detector):
         if self.by_time:
             i = self.buffer.first_index_at_or_after_time(window_start)
         else:
-            base = pts[0].seq
-            i = min(max(int(window_start) - base, 0), len(pts))
+            i = self.buffer.first_index_at_or_after_seq(int(window_start))
         return pts[i:]
 
     def memory_units(self) -> int:

@@ -15,8 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.point import Point
 from ..core.queries import QueryGroup
-from ..engine.executor import StreamExecutor
 from ..metrics.results import RunResult
+from ..runtime import Runtime
 
 __all__ = ["AlgoSpec", "SeriesResult", "run_series", "DEFAULT_ALGOS"]
 
@@ -105,12 +105,16 @@ def run_series(
     algos: Sequence[AlgoSpec],
     x_label: str = "queries",
     until: Optional[int] = None,
+    shards: int = 1,
+    backend: str = "serial",
 ) -> SeriesResult:
     """Run every (size, algorithm) cell of one figure.
 
     ``group_builder(size)`` must return the workload for that size (same
     random seed per size across algorithms so all contenders answer the
-    same queries).
+    same queries).  ``shards``/``backend`` run every cell on a sharded
+    :class:`~repro.runtime.Runtime` (exact; the default is the classic
+    single-detector measurement).
     """
     series = SeriesResult(title=title, x_label=x_label, sizes=list(sizes))
     series.runs = {a.name: [] for a in algos}
@@ -120,7 +124,7 @@ def run_series(
             if algo.max_queries is not None and size > algo.max_queries:
                 series.runs[algo.name].append(None)
                 continue
-            detector = algo.factory(group)
-            executor = StreamExecutor(detector)
-            series.runs[algo.name].append(executor.run(points, until=until))
+            runtime = Runtime(group, factory=algo.factory,
+                              shards=shards, backend=backend)
+            series.runs[algo.name].append(runtime.run(points, until=until))
     return series

@@ -26,13 +26,22 @@ Periodic checkpointing is an executor concern: :class:`CheckpointSubscriber`
 listens to ``on_boundary_end`` and rewrites the file every ``interval``
 boundaries; :class:`CheckpointedRun` is the legacy facade over a
 :class:`~repro.engine.StreamExecutor` with that subscriber attached.
+
+Sharded runtimes checkpoint as *one manifest* plus one per-shard segment
+file (each segment is a classic checkpoint of that shard's detector, so
+the format above is reused verbatim).  The manifest pins the shard count
+and the partitioner's learned bounds; restoring with a different shard
+count fails loudly, because per-shard windows cannot be re-split without
+replaying the stream.  :func:`save_sharded_checkpoint` /
+:func:`load_sharded_checkpoint` are the one-shot pair and
+:class:`ShardedCheckpointSubscriber` is the periodic runtime subscriber.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from .core.point import Point
 from .core.queries import OutlierQuery, QueryGroup
@@ -43,8 +52,11 @@ from .streams.windows import COUNT, TIME, WindowSpec
 __all__ = [
     "save_checkpoint",
     "load_checkpoint",
+    "save_sharded_checkpoint",
+    "load_sharded_checkpoint",
     "CheckpointSubscriber",
     "CheckpointedRun",
+    "ShardedCheckpointSubscriber",
 ]
 
 PathLike = Union[str, Path]
@@ -114,6 +126,11 @@ def load_checkpoint(
             header = json.loads(fh.readline())
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path}: malformed checkpoint header") from exc
+        if header.get("sharded"):
+            raise ValueError(
+                f"{path} is a sharded checkpoint manifest; restore it "
+                "with load_sharded_checkpoint"
+            )
         if header.get("version") != _FORMAT_VERSION:
             raise ValueError(
                 f"{path}: unsupported checkpoint version "
@@ -230,3 +247,192 @@ class CheckpointedRun:
     def run(self, points, until: Optional[int] = None):
         """Process a finite stream end-to-end, checkpointing as it goes."""
         return self.executor.run(points, until=until)
+
+
+# --------------------------------------------------------------------------
+# sharded checkpoints: one manifest + one classic segment per shard
+# --------------------------------------------------------------------------
+
+
+def _segment_path(manifest: Path, shard_id: int) -> Path:
+    return manifest.with_name(f"{manifest.name}.shard{shard_id}")
+
+
+def _manifest_dict(runtime, last_boundary: int,
+                   segments: List[str]) -> dict:
+    part = runtime.partitioner
+    return {
+        "version": _FORMAT_VERSION,
+        "sharded": True,
+        "shards": runtime.n_shards,
+        "last_boundary": int(last_boundary),
+        "partitioner": {
+            "axis": part.axis,
+            "radius": part.radius,
+            "bounds": list(part.bounds) if part.bounds is not None else None,
+        },
+        "segments": segments,
+    }
+
+
+def save_sharded_checkpoint(runtime, last_boundary: int,
+                            path: PathLike) -> int:
+    """Checkpoint a sharded runtime: manifest at ``path`` + shard segments.
+
+    Each shard's detector is saved with the classic :func:`save_checkpoint`
+    into ``<path>.shard<i>``; the manifest records shard count, the
+    partitioner geometry (axis, radius, learned bounds), and the segment
+    file names.  Returns the total points saved (border replicas counted
+    once per holding shard, as stored).
+
+    Requires live shard executors, i.e. a serial-backend runtime -- the
+    process backend runs shards inside workers and cannot be checkpointed
+    mid-stream.
+    """
+    manifest_path = Path(path)
+    shards = runtime.shards  # raises loudly for non-steppable backends
+    total = 0
+    segments: List[str] = []
+    for shard in shards:
+        seg = _segment_path(manifest_path, shard.shard_id)
+        total += save_checkpoint(shard.detector, last_boundary, seg)
+        segments.append(seg.name)
+    with open(manifest_path, "w") as fh:
+        fh.write(json.dumps(
+            _manifest_dict(runtime, last_boundary, segments)) + "\n")
+    return total
+
+
+def load_sharded_checkpoint(
+    path: PathLike,
+    factory: Optional[Callable[[QueryGroup], object]] = None,
+    shards: Optional[int] = None,
+    backend=None,
+    allow_config_mismatch: bool = False,
+):
+    """Restore ``(runtime, last_boundary)`` from a sharded manifest.
+
+    Every segment is restored with :func:`load_checkpoint` (same factory
+    and config-mismatch semantics), the partitioner geometry comes back
+    from the manifest, and point ownership is recomputed -- the runtime
+    resumes exactly where the checkpointed one stopped.
+
+    The shard count is part of the persisted state: per-shard windows
+    cannot be re-split without replaying the stream, so passing ``shards``
+    different from the manifest's fails loudly rather than resuming with
+    silently wrong partitions.
+    """
+    from .runtime import Runtime, StreamPartitioner
+
+    manifest_path = Path(path)
+    with open(manifest_path) as fh:
+        try:
+            manifest = json.loads(fh.readline())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}: malformed sharded checkpoint manifest"
+            ) from exc
+    if not manifest.get("sharded"):
+        raise ValueError(
+            f"{path} is not a sharded checkpoint manifest; restore it "
+            "with load_checkpoint"
+        )
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported checkpoint version "
+            f"{manifest.get('version')!r}"
+        )
+    n_shards = int(manifest["shards"])
+    segments = manifest["segments"]
+    if len(segments) != n_shards:
+        raise ValueError(
+            f"{path}: manifest lists {len(segments)} segment(s) for "
+            f"{n_shards} shard(s)"
+        )
+    if shards is not None and int(shards) != n_shards:
+        raise ValueError(
+            f"{path}: checkpoint has {n_shards} shard(s) but the restore "
+            f"requested {shards}; shard count cannot change across a "
+            "restore (re-split requires replaying the stream)"
+        )
+    detectors = []
+    boundaries = set()
+    for name in segments:
+        detector, seg_boundary = load_checkpoint(
+            manifest_path.with_name(name), factory=factory,
+            allow_config_mismatch=allow_config_mismatch,
+        )
+        detectors.append(detector)
+        boundaries.add(seg_boundary)
+    last_boundary = int(manifest["last_boundary"])
+    if boundaries - {last_boundary}:
+        raise ValueError(
+            f"{path}: segment boundaries {sorted(boundaries)} disagree "
+            f"with manifest boundary {last_boundary}"
+        )
+    geo = manifest.get("partitioner", {})
+    radius = float(geo.get("radius", 0.0))
+    partitioner = StreamPartitioner(
+        n_shards, radius,
+        bounds=tuple(geo["bounds"]) if geo.get("bounds") else None,
+        axis=int(geo.get("axis", 0)),
+    )
+    group = detectors[0].group
+    config = getattr(detectors[0], "config", None)
+    runtime = Runtime(
+        group,
+        factory=factory,
+        config=config if isinstance(config, DetectorConfig) else None,
+        shards=n_shards,
+        backend=backend,
+        partitioner=partitioner,
+    )
+    runtime.adopt_shards(detectors)
+    runtime.last_boundary = last_boundary
+    return runtime, last_boundary
+
+
+class ShardedCheckpointSubscriber:
+    """Runtime subscriber persisting the whole shard set periodically.
+
+    The sharded analogue of :class:`CheckpointSubscriber`: every
+    ``interval`` boundaries the manifest and all shard segments are
+    rewritten (manifest last, via replace, so a crash mid-write leaves a
+    consistent previous manifest pointing at previous-or-newer segments).
+    Attach to a :class:`~repro.runtime.Runtime` with ``subscribe``.
+    """
+
+    def __init__(self, path: PathLike, interval: int = 10):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.path = Path(path)
+        self.interval = interval
+        self.runtime = None
+        self._since = 0
+        self.checkpoints_written = 0
+
+    def on_attach(self, runtime) -> None:
+        self.runtime = runtime
+
+    def on_boundary_end(self, t, outputs) -> None:
+        self._since += 1
+        if self._since < self.interval:
+            return
+        runtime = self.runtime
+        segments: List[str] = []
+        for shard in runtime.shards:
+            seg = _segment_path(self.path, shard.shard_id)
+            seg_tmp = seg.with_suffix(seg.suffix + ".tmp")
+            save_checkpoint(shard.detector, t, seg_tmp)
+            seg_tmp.replace(seg)
+            segments.append(seg.name)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(
+                _manifest_dict(runtime, t, segments)) + "\n")
+        tmp.replace(self.path)
+        self.checkpoints_written += 1
+        self._since = 0
+
+    def on_stream_end(self, result) -> None:
+        """Stream ended; nothing to flush (checkpoints are periodic)."""

@@ -7,7 +7,10 @@ Commands:
 * ``workload`` -- sample a Table 1 workload class into a JSON spec;
 * ``explain`` -- print the shared skyband plan for a workload spec;
 * ``detect`` -- run a detector over a stream CSV for a workload spec,
-  archive the outputs, and print the run summary;
+  archive the outputs, and print the run summary; ``--shards N``
+  value-partitions the stream across N detector shards (exact, see
+  ``repro.runtime``) and ``--backend serial|process`` picks where the
+  shard pipelines run;
 * ``compare`` -- diff two archived result files (the cross-detector
   equivalence check, as a tool).
 
@@ -106,6 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--lazy", action="store_true",
                      help="refresh evidence only at boundaries with due "
                           "queries instead of eagerly every slide (SOP only)")
+    det.add_argument("--shards", type=int, default=1,
+                     help="value-partition the stream across this many "
+                          "detector shards (exact; default 1)")
+    det.add_argument("--backend", choices=("serial", "process"),
+                     default="serial",
+                     help="where shard pipelines run: in-process (serial) "
+                          "or one worker process per shard")
+    det.add_argument("--replication-radius", type=float, default=0.0,
+                     help="border replication radius; 0 = auto (the "
+                          "workload's largest query radius, always exact)")
 
     cmp_ = sub.add_parser("compare", help="diff two archived result files")
     cmp_.add_argument("--a", required=True)
@@ -169,28 +182,46 @@ def _cmd_explain(args) -> int:
 
 
 def _cmd_detect(args) -> int:
+    from functools import partial
+
+    from .runtime import Runtime
+
     points = load_points_csv(args.stream)
     queries = load_workload(args.workload)
-    factory = _ALGORITHMS[args.algorithm]
+    base = _ALGORITHMS[args.algorithm]
     config = DetectorConfig(
         eager=not args.lazy,
         use_batched_refresh=not args.no_batched_refresh,
         batch_min_rows=args.batch_min_rows,
+        shards=args.shards,
+        backend=args.backend,
+        replication_radius=args.replication_radius,
     )
-    sop_kwargs = {}
-    if args.algorithm == "sop":
-        sop_kwargs["config"] = config
-    elif config != DetectorConfig():
+    # shards/backend apply to every algorithm; the remaining knobs are
+    # SOP-only and silently ignoring them would mislead
+    sop_only = config.replace(shards=1, backend="serial",
+                              replication_radius=0.0)
+    if args.algorithm != "sop" and sop_only != DetectorConfig():
         print(f"note: SOP tuning flags are ignored by {args.algorithm}")
     attr_sets = {q.attributes for q in queries}
     if len(attr_sets) > 1:
-        detector = MultiAttributeDetector(queries, factory=factory,
+        if config.shards > 1:
+            print("error: --shards > 1 is not supported for "
+                  "multi-attribute workloads (no single partition axis "
+                  "is shared by every attribute subset)", file=sys.stderr)
+            return 2
+        sop_kwargs = {"config": config} if args.algorithm == "sop" else {}
+        detector = MultiAttributeDetector(queries, factory=base,
                                           **sop_kwargs)
+        result = detector.run(points, until=args.until)
     else:
-        detector = factory(QueryGroup(queries), **sop_kwargs)
-    result = detector.run(points, until=args.until)
+        factory = (partial(SOPDetector, config=config)
+                   if args.algorithm == "sop" else base)
+        runtime = Runtime(QueryGroup(queries), factory=factory,
+                          config=config)
+        result = runtime.run(points, until=args.until)
     print(result.summary())
-    work = detector.work_stats()
+    work = result.work
     print("work: " + ", ".join(
         f"{key}={work[key]}" for key in sorted(work)))
     if args.out:

@@ -41,6 +41,17 @@ class DetectorConfig:
     use_batched_refresh: bool = True
     #: crossover heuristic: batches smaller than this run per-point
     batch_min_rows: int = 8
+    #: number of value-partitioned shards the runtime drives (1 = the
+    #: classic single-executor path, byte-identical to pre-shard runs)
+    shards: int = 1
+    #: shard execution backend: "serial" steps every shard in-process and
+    #: boundary-synchronously; "process" runs one worker process per shard
+    backend: str = "serial"
+    #: border-replication radius of the value partitioner; 0.0 means
+    #: "auto": use the workload's r_max, the smallest exact choice
+    replication_radius: float = 0.0
+
+    _BACKENDS = ("serial", "process")
 
     def __post_init__(self):
         if (isinstance(self.metric, DistanceMetric)
@@ -50,6 +61,15 @@ class DetectorConfig:
             raise ValueError("chunk_size must be >= 1")
         if self.batch_min_rows < 1:
             raise ValueError("batch_min_rows must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.backend not in self._BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self._BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.replication_radius < 0:
+            raise ValueError("replication_radius must be >= 0")
 
     # -------------------------------------------------------- serialization
 

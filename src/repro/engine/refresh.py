@@ -54,7 +54,6 @@ class RefreshEngine:
         examined0 = det.stats["points_examined"]
 
         newest_seq = pts[-1].seq
-        base_seq = pts[0].seq
         n_live = len(pts)
         states = det._states
         #: from-scratch scans, as (live index, point, state-or-None)
@@ -68,8 +67,11 @@ class RefreshEngine:
             if st is None or not det.use_least_examination:
                 scratch.append((idx, p, st))
             else:
-                new_from = min(max(st.last_seen_seq + 1 - base_seq, 0),
-                               n_live)
+                # live index of the first arrival this survivor has not
+                # scanned yet; searchsorted, not base-offset arithmetic,
+                # because shard streams skip sequence numbers
+                new_from = buf.first_index_at_or_after_seq(
+                    st.last_seen_seq + 1)
                 survivors.setdefault(new_from, []).append((idx, p, st))
 
         batch_rows = self._scan_scratch(det, scratch, newest_seq)

@@ -20,7 +20,7 @@ The paper reports two metrics per experiment:
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import List, Sequence
 
 __all__ = ["CpuMeter", "MemoryMeter", "EVIDENCE_ENTRY_BYTES", "POINT_STATE_BYTES"]
 
@@ -63,6 +63,26 @@ class CpuMeter:
     def __len__(self) -> int:
         return len(self.samples_ns)
 
+    @classmethod
+    def merge(cls, meters: Sequence["CpuMeter"]) -> "CpuMeter":
+        """Combine per-shard meters: boundary-aligned sample sums.
+
+        Shards of one runtime process the same boundary schedule, so
+        sample ``i`` of every meter measures the same boundary; the merged
+        sample is the total CPU spent on that boundary across shards
+        (shards of unequal length -- a shard that joined late -- pad with
+        zero).  Merging a single meter reproduces it exactly.
+        """
+        out = cls()
+        if not meters:
+            return out
+        width = max(len(m.samples_ns) for m in meters)
+        for i in range(width):
+            out.samples_ns.append(sum(
+                m.samples_ns[i] for m in meters if i < len(m.samples_ns)
+            ))
+        return out
+
 
 class MemoryMeter:
     """Tracks peak evidence units and converts them to estimated bytes."""
@@ -87,3 +107,18 @@ class MemoryMeter:
     @property
     def peak_kb(self) -> float:
         return self.peak_bytes / 1024.0
+
+    @classmethod
+    def merge(cls, meters: Sequence["MemoryMeter"]) -> "MemoryMeter":
+        """Combine per-shard meters by summing peaks.
+
+        Per-shard peaks need not coincide in time, so the sum is an upper
+        bound on the true simultaneous peak -- the honest number for
+        capacity planning (every shard must be provisioned for its own
+        peak).  Merging a single meter reproduces it exactly.
+        """
+        out = cls()
+        out.peak_units = sum(m.peak_units for m in meters)
+        out.peak_points = sum(m.peak_points for m in meters)
+        out.last_units = sum(m.last_units for m in meters)
+        return out

@@ -13,7 +13,7 @@ from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 from .meters import CpuMeter, MemoryMeter
 
-__all__ = ["OutputKey", "RunResult", "compare_outputs"]
+__all__ = ["OutputKey", "RunResult", "compare_outputs", "merge_work"]
 
 #: (query index within the group, output boundary t)
 OutputKey = Tuple[int, int]
@@ -70,6 +70,21 @@ class RunResult:
             f"({self.peak_memory_kb:.1f} KB), "
             f"outlier reports={self.total_outliers()}"
         )
+
+
+def merge_work(dicts: "List[Dict[str, int]]") -> Dict[str, int]:
+    """Key-wise sum of per-shard work counters.
+
+    Every counter in ``work_stats()`` is additive (distance rows, kernel
+    launches, scan/examination counts, refresh nanoseconds), so the
+    workload-level total is the plain sum; merging a single dict
+    reproduces it exactly.
+    """
+    out: Dict[str, int] = {}
+    for d in dicts:
+        for key, value in d.items():
+            out[key] = out.get(key, 0) + value
+    return out
 
 
 def compare_outputs(

@@ -1,0 +1,42 @@
+"""Sharded detection runtime (value partitioning + exact merge).
+
+Public surface:
+
+* :class:`~repro.runtime.runtime.Runtime` -- the single entrypoint the
+  API, CLI, alerting, checkpointing, and bench layers drive.
+* :class:`~repro.runtime.partitioner.StreamPartitioner` -- value-based
+  grid partitioning with border replication (exactness argument in its
+  module docstring and DESIGN.md §9).
+* :class:`~repro.runtime.shard.ShardExecutor` -- one detector pipeline
+  per shard.
+* :class:`~repro.runtime.merger.Merger` -- ownership-filtered exact
+  union of outputs plus additive meter/counter merges.
+* Backends -- :class:`~repro.runtime.backends.SerialBackend` (default,
+  steppable) and :class:`~repro.runtime.backends.ProcessPoolBackend`
+  (one worker process per shard), resolved by
+  :func:`~repro.runtime.backends.make_backend`.
+"""
+
+from .backends import (
+    Backend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    run_shard_task,
+)
+from .merger import Merger
+from .partitioner import StreamPartitioner
+from .runtime import Runtime
+from .shard import ShardExecutor
+
+__all__ = [
+    "Runtime",
+    "StreamPartitioner",
+    "ShardExecutor",
+    "Merger",
+    "Backend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "run_shard_task",
+]

@@ -1,0 +1,297 @@
+"""Runtime: the single entrypoint driving N value-partitioned shards.
+
+The PR-2 :class:`~repro.engine.StreamExecutor` drives *one* detector.
+:class:`Runtime` generalizes it to a sharded architecture::
+
+    points ──► StreamPartitioner ──► ShardExecutor 0..N-1 ──► Merger
+               (owner + border        (detector + executor     (dedup +
+                replication)           per shard, global        exact union,
+                                       swift schedule)          counter sums)
+
+With ``shards=1`` (the default) the partitioner routes everything to one
+shard, the merger is the identity, and the run is byte-identical to the
+classic executor path -- outputs, work counters, memory accounting, and
+checkpoint roundtrips.  That identity is the refactor's oracle
+(``tests/test_runtime.py``); N-shard runs must then produce identical
+outlier sets, which ``tests/test_runtime_equivalence.py`` pins across
+the Table 1 grid.
+
+Two drive modes:
+
+* :meth:`run` -- a finite stream end-to-end.  Serial backends step all
+  shards boundary-synchronously (live subscribers fire per boundary);
+  the process backend ships each shard's slice to a worker and replays
+  subscriber notifications from the merged result afterwards.
+* :meth:`step` / :meth:`finish` -- push boundaries one at a time
+  (long-running deployments; serial backend only).  Every shard is
+  stepped at every boundary, batch or no batch, so shard windows advance
+  in lockstep and due queries are answered from every shard.
+
+Runtime-level subscribers receive the *merged* boundary outputs --
+:class:`~repro.alerts.AlertSubscriber` plugs in unchanged, and
+:class:`~repro.checkpoint.ShardedCheckpointSubscriber` persists per-shard
+segments under one manifest.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..core.point import Point
+from ..core.queries import QueryGroup
+from ..core.sop import SOPDetector
+from ..engine.config import DetectorConfig
+from ..metrics.results import RunResult, merge_work
+from ..streams.source import batches_by_boundary, stream_end_boundary
+from .backends import Backend, make_backend
+from .merger import Merger
+from .partitioner import StreamPartitioner
+from .shard import ShardExecutor
+
+__all__ = ["Runtime"]
+
+Outputs = Dict[int, FrozenSet[int]]
+
+
+class Runtime:
+    """Sharded detection runtime over one workload.
+
+    ``group`` is the workload (a :class:`~repro.core.queries.QueryGroup`
+    or a sequence of queries); ``factory(group)`` builds one detector per
+    shard (default: :class:`~repro.core.sop.SOPDetector` with this
+    runtime's config; must be picklable for the process backend).
+    ``shards`` / ``backend`` / ``replication_radius`` override the
+    corresponding :class:`~repro.engine.DetectorConfig` fields.
+
+    The replication radius must cover the workload's largest query radius
+    (``r_max``) or the sharded answer could miss cross-border neighbors;
+    the auto value (0.0) resolves to exactly ``r_max`` and anything
+    smaller fails loudly at construction.
+    """
+
+    def __init__(
+        self,
+        group,
+        factory=None,
+        config: Optional[DetectorConfig] = None,
+        shards: Optional[int] = None,
+        backend=None,
+        replication_radius: Optional[float] = None,
+        partitioner: Optional[StreamPartitioner] = None,
+        subscribers: Sequence = (),
+    ):
+        if not isinstance(group, QueryGroup):
+            group = QueryGroup([q for q in group])
+        self.group = group
+        config = config if config is not None else DetectorConfig()
+        overrides = {}
+        if shards is not None:
+            overrides["shards"] = int(shards)
+        if replication_radius is not None:
+            overrides["replication_radius"] = float(replication_radius)
+        if backend is not None and not isinstance(backend, Backend):
+            overrides["backend"] = backend
+        if overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.n_shards = config.shards
+        self.backend: Backend = (backend if isinstance(backend, Backend)
+                                 else make_backend(config.backend))
+        self.factory = (factory if factory is not None
+                        else partial(SOPDetector, config=config))
+        radius = config.replication_radius or group.r_max
+        if radius < group.r_max:
+            raise ValueError(
+                f"replication_radius {radius:g} is smaller than the "
+                f"workload's r_max {group.r_max:g}; sharded neighbor "
+                "counts would miss cross-border neighbors"
+            )
+        if partitioner is not None:
+            if partitioner.n_shards != self.n_shards:
+                raise ValueError(
+                    f"partitioner has {partitioner.n_shards} shards, "
+                    f"config wants {self.n_shards}"
+                )
+            self.partitioner = partitioner
+        else:
+            self.partitioner = StreamPartitioner(self.n_shards, radius)
+        self.subscribers: List = []
+        self._owners: Dict[int, int] = {}
+        self._merger = Merger(self._owners)
+        self._shards: Optional[List[ShardExecutor]] = None
+        self.last_boundary = 0
+        self.result: Optional[RunResult] = None
+        for sub in subscribers:
+            self.subscribe(sub)
+
+    # -------------------------------------------------------------- wiring
+
+    @property
+    def swift(self):
+        return self.group.swift
+
+    @property
+    def shards(self) -> List[ShardExecutor]:
+        """The live shard executors (built on first use; serial only)."""
+        if not self.backend.supports_stepping:
+            raise RuntimeError(
+                f"the {self.backend.name!r} backend runs shards inside "
+                "worker processes; there are no live shard executors to "
+                "inspect or checkpoint"
+            )
+        if self._shards is None:
+            self._shards = [
+                ShardExecutor(i, self.factory(self.group))
+                for i in range(self.n_shards)
+            ]
+        return self._shards
+
+    def subscribe(self, subscriber):
+        """Attach a runtime subscriber (merged-output lifecycle hooks)."""
+        subscriber.on_attach(self)
+        self.subscribers.append(subscriber)
+        return subscriber
+
+    def owner_of(self, seq: int) -> Optional[int]:
+        """Owner shard of a routed point (None if never routed)."""
+        return self._owners.get(seq)
+
+    # ------------------------------------------------------------ stepping
+
+    def step(self, t: int, batch: Sequence[Point]) -> Outputs:
+        """Process one boundary across every shard; merged due outputs.
+
+        All shards advance even when their sub-batch is empty -- windows
+        expire, evidence refreshes, and due queries answer on every
+        shard, exactly like the single-executor path on a quiet slide.
+        """
+        if not self.backend.supports_stepping:
+            raise RuntimeError(
+                f"the {self.backend.name!r} backend cannot be stepped; "
+                "use run() on a finite stream or the serial backend"
+            )
+        self.partitioner.ensure_bounds(batch)
+        shard_batches, owners = self.partitioner.split(batch)
+        self._owners.update(owners)
+        per_shard = [
+            shard.step(t, shard_batches[shard.shard_id])
+            for shard in self.shards
+        ]
+        merged = self._merger.merge_boundary(per_shard)
+        self.last_boundary = t
+        for sub in self.subscribers:
+            sub.on_boundary_end(t, merged)
+        return merged
+
+    def finish(self) -> RunResult:
+        """Finalize every shard, merge, and fire ``on_stream_end``."""
+        results = [shard.finish() for shard in self.shards]
+        return self._finalize(results)
+
+    def _finalize(self, results: Sequence[RunResult]) -> RunResult:
+        self.result = self._merger.merge_results(results)
+        for sub in self.subscribers:
+            sub.on_stream_end(self.result)
+        return self.result
+
+    # ------------------------------------------------------------- running
+
+    def run(self, points: Sequence[Point],
+            until: Optional[int] = None) -> RunResult:
+        """Process a finite stream end-to-end; returns the merged result.
+
+        ``until`` bounds the last boundary; the default is the same
+        "first boundary past the last point" the single executor uses,
+        applied to the *whole* stream so every shard -- even one whose
+        slice ends early -- is driven to the same final boundary.
+        """
+        points = points if isinstance(points, (list, tuple)) \
+            else list(points)
+        slide, kind = self.swift.slide, self.group.kind
+        if until is None:
+            until = stream_end_boundary(points, slide, kind)
+        self.partitioner.ensure_bounds(points)
+        if self.backend.supports_stepping:
+            for t, batch in batches_by_boundary(points, slide, kind, until):
+                self.step(t, batch)
+            return self.finish()
+        # whole-stream backend: one task per shard, notifications replayed
+        shard_points, owners = self.partitioner.split(points)
+        self._owners.update(owners)
+        tasks = [
+            (self.factory, self.group, tuple(shard_points[i]), until)
+            for i in range(self.n_shards)
+        ]
+        results = self.backend.run_tasks(tasks)
+        merged = self._replay_and_finalize(results, slide, until)
+        return merged
+
+    def _replay_and_finalize(self, results: Sequence[RunResult],
+                             slide: int, until: int) -> RunResult:
+        """Merge worker results, then replay per-boundary notifications.
+
+        Whole-stream backends cannot fire live hooks; subscribers instead
+        see every boundary's merged outputs after the fact, in boundary
+        order, followed by ``on_stream_end`` -- same call sequence, later.
+        """
+        merged_outputs: Dict[int, Outputs] = {}
+        self.result = self._merger.merge_results(results)
+        for (qi, t), seqs in self.result.outputs.items():
+            merged_outputs.setdefault(t, {})[qi] = seqs
+        t = slide
+        while t <= until:
+            self.last_boundary = t
+            for sub in self.subscribers:
+                sub.on_boundary_end(t, merged_outputs.get(t, {}))
+            t += slide
+        for sub in self.subscribers:
+            sub.on_stream_end(self.result)
+        return self.result
+
+    # ------------------------------------------------------------- restore
+
+    def adopt_shards(self, detectors: Sequence) -> None:
+        """Wrap restored (warm-started) detectors as this runtime's shards.
+
+        Used by sharded checkpoint restore: ownership of every live
+        buffered point is recomputed from the partitioner, so merging
+        resumes exactly where the checkpointed runtime left off.
+        """
+        if len(detectors) != self.n_shards:
+            raise ValueError(
+                f"got {len(detectors)} detectors for {self.n_shards} shards"
+            )
+        if self._shards is not None:
+            raise RuntimeError("runtime already has live shards")
+        self._shards = [
+            ShardExecutor(i, det) for i, det in enumerate(detectors)
+        ]
+        for shard in self._shards:
+            buffer = getattr(shard.detector, "buffer", None)
+            if buffer is None:
+                continue
+            for p in buffer.points:
+                self._owners[p.seq] = (
+                    self.partitioner.shard_of(p.values)
+                    if self.partitioner.initialized else 0
+                )
+
+    # -------------------------------------------------------------- stats
+
+    def work_stats(self) -> Dict[str, int]:
+        """Merged work counters of the live shards (serial backends)."""
+        return merge_work([
+            shard.detector.work_stats() for shard in self.shards
+        ])
+
+    def memory_units(self) -> int:
+        """Total evidence entries across live shards (replicas included)."""
+        return sum(shard.detector.memory_units() for shard in self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Runtime(shards={self.n_shards}, "
+            f"backend={self.backend.name!r}, "
+            f"queries={len(self.group)})"
+        )

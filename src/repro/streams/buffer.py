@@ -191,16 +191,35 @@ class WindowBuffer:
     def position_of_seq(self, seq: int) -> int:
         """Index within the live region of the point with the given ``seq``.
 
-        Sequences are contiguous (streams never skip arrival numbers), so
-        this is O(1) arithmetic validated against the stored point.
+        Unsharded streams have contiguous sequences, making this O(1)
+        arithmetic; a shard of a value-partitioned stream holds a
+        subsequence with gaps, so on an arithmetic miss the lookup falls
+        back to a ``searchsorted`` over the cached seq array.
         """
         if not len(self):
             raise KeyError(seq)
         base = self._pts[self._start].seq
         i = seq - base
-        if not 0 <= i < len(self) or self._pts[self._start + i].seq != seq:
-            raise KeyError(seq)
-        return i
+        if 0 <= i < len(self) and self._pts[self._start + i].seq == seq:
+            return i
+        i = self.first_index_at_or_after_seq(seq)
+        if i < len(self) and self._pts[self._start + i].seq == seq:
+            return i
+        raise KeyError(seq)
+
+    def first_index_at_or_after_seq(self, seq: int) -> int:
+        """Smallest live index whose point has ``seq >=`` the given value
+        (len if none).
+
+        A ``searchsorted`` over the cached seq array -- correct for shard
+        streams whose sequence numbers skip, unlike base-offset arithmetic.
+        """
+        if self._seqs is None or self._start >= self._len:
+            return 0
+        return int(
+            np.searchsorted(self._seqs[self._start : self._len], seq,
+                            side="left")
+        )
 
     def first_index_at_or_after_time(self, t: float) -> int:
         """Smallest live index whose point has ``time >= t`` (len if none).

@@ -14,7 +14,13 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 from ..core.point import Point
 from .windows import COUNT, TIME
 
-__all__ = ["StreamSource", "ListSource", "batches_by_boundary", "positions"]
+__all__ = [
+    "StreamSource",
+    "ListSource",
+    "batches_by_boundary",
+    "positions",
+    "stream_end_boundary",
+]
 
 
 def positions(points: Iterable[Point], kind: str) -> List[float]:
@@ -59,6 +65,23 @@ class ListSource(StreamSource):
         return len(self._points)
 
 
+def stream_end_boundary(points: Sequence[Point], slide: int,
+                        kind: str) -> int:
+    """Default ``until``: the first boundary strictly past the last point.
+
+    This is the single definition of "the end of a finite stream"; the
+    executor and the sharded runtime both use it, so a shard driven with
+    an explicit ``until`` stops at exactly the boundary the whole stream
+    would have (0 for an empty stream -- no boundaries).
+    """
+    if slide <= 0:
+        raise ValueError("slide must be positive")
+    if not points:
+        return 0
+    last = positions(points, kind)[-1]
+    return (int(last) // slide + 1) * slide
+
+
 def batches_by_boundary(
     points: Sequence[Point], slide: int, kind: str, until: int = None
 ) -> Iterator[Tuple[int, List[Point]]]:
@@ -81,9 +104,7 @@ def batches_by_boundary(
     if until is None:
         if not points:
             return
-        last = pos[-1]
-        # smallest multiple of slide strictly greater than the last position
-        until = (int(last) // slide + 1) * slide
+        until = stream_end_boundary(points, slide, kind)
     i = 0
     t = slide
     n = len(points)

@@ -1,0 +1,143 @@
+"""Golden equivalence: N-shard runs answer exactly like 1-shard runs.
+
+The partitioner's border replication makes per-shard neighbor counts
+locally exact and the merger's ownership filter removes the replica
+double-counting, so a sharded run must produce the *identical* outlier
+set for every (query, boundary) -- not merely similar.  This suite pins
+that across the full Table 1 workload grid (classes A..G), both window
+kinds, a shard sweep, and randomized streams/workloads via hypothesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    OutlierQuery,
+    Point,
+    QueryGroup,
+    Runtime,
+    SOPDetector,
+    StreamExecutor,
+    WindowSpec,
+    compare_outputs,
+    make_synthetic_points,
+)
+from repro.bench import ScaledRanges, build_workload
+
+#: compact Table 2 ranges -- same shape (slide/win ratio, k density),
+#: laptop-test scale
+TEST_RANGES = ScaledRanges(
+    r=(200.0, 2000.0),
+    k=(3, 12),
+    win=(80, 320),
+    slide=(20, 80),
+    slide_quantum=20,
+    fixed_r=700.0,
+    fixed_k=5,
+    fixed_win=160,
+    fixed_slide=40,
+)
+
+
+def single_shard_outputs(group, points):
+    return StreamExecutor(SOPDetector(group)).run(points).outputs
+
+
+def assert_shard_equivalent(group, points, shards, backend="serial"):
+    queries = list(group.queries)
+    expected = single_shard_outputs(group, points)
+    actual = Runtime(QueryGroup(queries), shards=shards,
+                     backend=backend).run(points).outputs
+    diffs = compare_outputs(expected, actual)
+    assert not diffs, f"{shards} shards diverged:\n" + "\n".join(diffs[:10])
+
+
+# --------------------------------------------------------- Table 1 grid
+
+
+@pytest.mark.parametrize("spec", list("ABCDEFG"))
+@pytest.mark.parametrize("shards", [2, 4])
+def test_table1_workload_equivalence(spec, shards):
+    group = build_workload(spec, 5, seed=ord(spec), ranges=TEST_RANGES)
+    points = make_synthetic_points(1000, dim=2, outlier_rate=0.04,
+                                   seed=100 + ord(spec))
+    assert_shard_equivalent(group, points, shards)
+
+
+def test_many_shards_beyond_data_spread():
+    """More shards than distinct value cells: some shards stay empty."""
+    group = build_workload("G", 4, seed=2, ranges=TEST_RANGES)
+    points = make_synthetic_points(700, dim=2, seed=21)
+    assert_shard_equivalent(group, points, 8)
+
+
+def test_process_backend_equivalence():
+    group = build_workload("C", 4, seed=5, ranges=TEST_RANGES)
+    points = make_synthetic_points(800, dim=2, seed=23)
+    try:
+        assert_shard_equivalent(group, points, 4, backend="process")
+    except OSError as exc:  # pragma: no cover - restricted sandboxes
+        pytest.skip(f"process pool unavailable: {exc}")
+
+
+# --------------------------------------------------------- TIME windows
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_time_window_equivalence(shards):
+    kind_ranges = ScaledRanges(
+        r=(200.0, 2000.0), k=(3, 10), win=(60, 240), slide=(20, 60),
+        slide_quantum=20, fixed_r=700.0, fixed_k=4,
+        fixed_win=120, fixed_slide=20, kind="time",
+    )
+    group = build_workload("G", 4, seed=9, ranges=kind_ranges)
+    base = make_synthetic_points(900, dim=2, outlier_rate=0.05, seed=31)
+    # irregular arrival times (bursts + gaps), decoupled from seq:
+    # deterministic per-point gaps accumulated into a monotone clock
+    points, clock = [], 0.0
+    for p in base:
+        clock += 0.2 + ((p.seq * 37) % 7) * 0.9
+        points.append(Point(seq=p.seq, values=p.values, time=clock))
+    assert_shard_equivalent(group, points, shards)
+
+
+# ---------------------------------------------------- hypothesis property
+
+
+values_1d = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=12, max_size=100,
+)
+
+query_params = st.tuples(
+    st.floats(min_value=0.1, max_value=8.0),   # r
+    st.integers(min_value=1, max_value=5),     # k
+    st.integers(min_value=2, max_value=10),    # win/4
+    st.integers(min_value=1, max_value=4),     # slide/4
+)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=values_1d,
+       params=st.lists(query_params, min_size=1, max_size=4),
+       shards=st.integers(min_value=2, max_value=4))
+def test_property_sharded_equals_single(values, params, shards):
+    queries = []
+    for r, k, win4, slide4 in params:
+        win, slide = win4 * 4, slide4 * 4
+        queries.append(OutlierQuery(
+            r=round(float(r), 3), k=k,
+            window=WindowSpec(win=win, slide=min(slide, win)),
+        ))
+    points = [Point(seq=i, values=(float(v),))
+              for i, v in enumerate(values)]
+    expected = single_shard_outputs(QueryGroup(queries), points)
+    actual = Runtime(QueryGroup(list(queries)),
+                     shards=shards).run(points).outputs
+    diffs = compare_outputs(expected, actual)
+    assert not diffs, "\n".join(diffs[:10])
