@@ -1,0 +1,254 @@
+"""Grid-pruned refresh benchmark: GridPrunedRefresh vs BatchedRefresh.
+
+Measures what grid-cell candidate pruning buys on top of the batched
+K-SKY engine, per boundary, using the detector's own
+:class:`repro.metrics.RefreshProfile` counters:
+
+* ``mean_refresh_ms`` -- wall time inside the refresh stage;
+* ``distance_rows`` -- point-to-point distances actually computed (the
+  quantity pruning exists to shrink from O(rows x window) to
+  O(rows x neighborhood));
+* ``candidates_pruned`` / ``kernel_cells_visited`` -- how many candidate
+  columns stayed out of the kernels, and what the neighborhood assembly
+  cost in cell probes.
+
+Grid: workload B (fixed r, varying k -- the regime where scans terminate
+late and the window-sized kernels hurt most) at r in {100, 200} x swift
+windows {4k .. 32k}, plus a 64k point at the headline radius (the kernel
+share of refresh time grows with the window, so large windows are where
+pruning structurally pays), over a clustered stream.  Output equality between
+the two engines is asserted on every config -- a speedup that changes
+answers is a bug, not a result.  Small-window / uniform regimes where
+pruning overhead loses are expected and reported honestly: per-config
+speedups below 1.0 stay in the JSON next to their pruning counters.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_grid_refresh.py         # full grid,
+                                                                   # writes BENCH_grid.json
+    PYTHONPATH=src python benchmarks/bench_grid_refresh.py --quick # CI smoke (small grid,
+                                                                   # no file unless --out)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from repro import (
+    DetectorConfig,
+    SOPDetector,
+    compare_outputs,
+    make_synthetic_points,
+)
+from repro.bench import build_workload, default_ranges
+
+N_QUERIES = 8
+WINDOWS = (4_000, 8_000, 16_000, 32_000)
+RS = (100.0, 200.0)
+#: extra large-window points at the headline radius only: the kernel
+#: share of refresh time (the part pruning can shrink) grows with the
+#: window, so this is where the speedup structurally peaks -- running
+#: the full r sweep there would double an already-long benchmark for
+#: configs that tell the same story as 32k
+XL_WINDOWS = (64_000,)
+XL_RS = (100.0,)
+QUICK_WINDOWS = (2_000,)
+QUICK_RS = (200.0,)
+WORKLOAD = "B"
+#: slide/window ratio 1/20, like the paper's defaults
+SLIDE_DIV = 20
+#: stream length in windows: one warm-up window + one steady-state window
+WINDOWS_PER_STREAM = 2
+#: headline gate: grid must beat batched by this factor on some config
+#: with window >= HEADLINE_MIN_WINDOW (checked in full mode)
+HEADLINE_SPEEDUP = 1.5
+HEADLINE_MIN_WINDOW = 16_000
+#: timing runs per engine in full mode (alternating order, min taken):
+#: detector outputs and work counters are deterministic, wall time is
+#: not -- min-of-2 suppresses load spikes from sharing the machine
+REPEATS = 2
+
+
+def _ranges(window: int, r: float):
+    """Workload-B ranges pinned to one swift window and one radius."""
+    slide = max(50, window // SLIDE_DIV)
+    return replace(
+        default_ranges(),
+        fixed_r=r,
+        fixed_win=window,
+        fixed_slide=slide,
+    )
+
+
+def _stream(window: int):
+    """Clustered stream: dense value regions a 100-200 radius resolves."""
+    return make_synthetic_points(
+        WINDOWS_PER_STREAM * window, dim=2, outlier_rate=0.02, seed=7,
+        n_clusters=4, cluster_spread=120,
+    )
+
+
+def _profile_dict(det: SOPDetector) -> dict:
+    prof = det.profile
+    return {
+        "boundaries": prof.boundaries,
+        "refresh_ns": prof.refresh_ns,
+        "mean_refresh_ms": round(prof.mean_refresh_ms, 4),
+        "kernel_launches": prof.kernel_launches,
+        "batch_rows": prof.batch_rows,
+        "python_insert_iters": prof.python_insert_iters,
+        "candidates_pruned": prof.candidates_pruned,
+        "kernel_cells_visited": prof.kernel_cells_visited,
+        "distance_rows": det.buffer.distance_rows,
+        "ksky_runs": det.stats["ksky_runs"],
+        "batched_scans": det.stats["batched_scans"],
+    }
+
+
+def run_config(window: int, r: float, seed: int = 11,
+               repeats: int = REPEATS) -> dict:
+    group = build_workload(WORKLOAD, n_queries=N_QUERIES, seed=seed,
+                           ranges=_ranges(window, r))
+    stream = _stream(window)
+    # alternating engine order so both see one early and one late slot;
+    # per engine the fastest run is kept (outputs and work counters are
+    # deterministic across repeats -- only wall time varies)
+    order = ("grid", "batched", "batched", "grid")[: 2 * max(1, repeats)]
+    runs = {}
+    for label in order:
+        det = SOPDetector(group, config=DetectorConfig(
+            refresh_strategy=label))
+        res = det.run(stream)
+        best = runs.get(label)
+        if best is None or det.profile.refresh_ns < best[0].profile.refresh_ns:
+            runs[label] = (det, res)
+    det_g, res_g = runs["grid"]
+    det_b, res_b = runs["batched"]
+    # the pruning oracle: answers, memory accounting, and the logical work
+    # counters must be identical; only kernel volume may differ
+    diffs = compare_outputs(res_b.outputs, res_g.outputs)
+    if res_g.memory.peak_units != res_b.memory.peak_units:
+        diffs.append(
+            f"peak memory units: batched {res_b.memory.peak_units} "
+            f"vs grid {res_g.memory.peak_units}"
+        )
+    for key in ("ksky_runs", "points_examined", "fully_safe_marked",
+                "early_terminations"):
+        if det_g.stats[key] != det_b.stats[key]:
+            diffs.append(f"stats[{key}]: batched {det_b.stats[key]} "
+                         f"vs grid {det_g.stats[key]}")
+    equal = not diffs
+    speedup = (det_b.profile.refresh_ns / det_g.profile.refresh_ns
+               if det_g.profile.refresh_ns else float("nan"))
+    rows_g = det_g.buffer.distance_rows
+    rows_b = det_b.buffer.distance_rows
+    return {
+        "workload": WORKLOAD,
+        "window": window,
+        "r": r,
+        "slide": group.swift.slide,
+        "swift_window": group.swift.win,
+        "n_queries": N_QUERIES,
+        "stream_points": len(stream),
+        "grid": _profile_dict(det_g),
+        "batched": _profile_dict(det_b),
+        "refresh_speedup": round(speedup, 3),
+        "distance_rows_ratio": round(rows_b / rows_g, 3) if rows_g else None,
+        "outputs_equal": equal,
+        "equality_diffs": diffs[:5],
+    }
+
+
+def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS) -> dict:
+    pairs = [(window, r) for r in rs for window in windows]
+    pairs.extend(extra_pairs)
+    configs = []
+    for window, r in pairs:
+        cfg = run_config(window, r, repeats=repeats)
+        configs.append(cfg)
+        print(
+            f"workload B r={cfg['r']:>5.0f} win={cfg['window']:>6}: "
+            f"batched {cfg['batched']['mean_refresh_ms']:8.2f} ms/b "
+            f"-> grid {cfg['grid']['mean_refresh_ms']:8.2f} ms/b "
+            f"speedup {cfg['refresh_speedup']:.2f}x "
+            f"(rows /{cfg['distance_rows_ratio']}, "
+            f"pruned {cfg['grid']['candidates_pruned']}, "
+            f"cells {cfg['grid']['kernel_cells_visited']}) "
+            f"outputs_equal={cfg['outputs_equal']}"
+        )
+        if not cfg["outputs_equal"]:
+            details = "\n  ".join(cfg["equality_diffs"])
+            raise SystemExit(
+                f"FATAL: grid and batched runs diverge on "
+                f"r={r} window {window}:\n  {details}"
+            )
+    headline = max(
+        (c["refresh_speedup"] for c in configs
+         if c["window"] >= HEADLINE_MIN_WINDOW),
+        default=None,
+    )
+    regressions = [
+        {"window": c["window"], "r": c["r"],
+         "refresh_speedup": c["refresh_speedup"]}
+        for c in configs if c["refresh_speedup"] < 1.0
+    ]
+    return {
+        "schema": "bench_grid_refresh/v1",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "settings": {
+            "workload": WORKLOAD,
+            "n_queries": N_QUERIES,
+            "windows_per_stream": WINDOWS_PER_STREAM,
+            "slide_divisor": SLIDE_DIV,
+            "timing_runs_per_engine": repeats,
+            "stream": "make_synthetic_points(dim=2, outlier_rate=0.02, "
+                      "seed=7, n_clusters=4, cluster_spread=120)",
+        },
+        "headline_speedup_at_large_windows": headline,
+        "regressions": regressions,
+        "configs": configs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid, no JSON unless --out is given "
+                             "(CI smoke test)")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default BENCH_grid.json; "
+                             "suppressed in --quick mode)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        report = run_grid(QUICK_WINDOWS, QUICK_RS, repeats=1)
+    else:
+        xl_pairs = [(w, r) for r in XL_RS for w in XL_WINDOWS]
+        report = run_grid(WINDOWS, RS, extra_pairs=xl_pairs)
+        headline = report["headline_speedup_at_large_windows"]
+        if headline is not None and headline < HEADLINE_SPEEDUP:
+            print(
+                f"WARNING: best large-window speedup {headline:.2f}x is "
+                f"below the {HEADLINE_SPEEDUP}x target", file=sys.stderr,
+            )
+    out = args.out if args.out is not None else (
+        None if args.quick else "BENCH_grid.json")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

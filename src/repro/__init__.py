@@ -40,6 +40,7 @@ from .engine import (
     DetectorConfig,
     DueQueryEvaluator,
     ExecutorSubscriber,
+    GridPrunedRefresh,
     PerPointRefresh,
     RefreshEngine,
     SafetyTracker,
@@ -74,7 +75,12 @@ from .core.point import (
     register_metric,
 )
 from .core.queries import OutlierQuery, QueryGroup
-from .index import GridIndex, IndexedWindow
+from .index import (
+    GridCandidateIndex,
+    GridIndex,
+    IndexedWindow,
+    cells_of_block,
+)
 from .core.dynamic import DynamicSOPDetector
 from .core.sop import SOPDetector
 from .metrics.meters import CpuMeter, MemoryMeter
@@ -174,7 +180,9 @@ __all__ = [
     "DueQueryEvaluator",
     "DynamicSOPDetector",
     "ExecutorSubscriber",
+    "GridCandidateIndex",
     "GridIndex",
+    "GridPrunedRefresh",
     "IndexedWindow",
     "Merger",
     "PerPointRefresh",
@@ -190,6 +198,7 @@ __all__ = [
     "available_metrics",
     "batches_by_boundary",
     "brute_force_outliers",
+    "cells_of_block",
     "chebyshev",
     "compare_outputs",
     "detect_outliers",

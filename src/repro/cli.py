@@ -106,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--batch-min-rows", type=int, default=8,
                      help="batched-refresh crossover: below this many rows "
                           "per boundary, fall back to per-point (SOP only)")
+    det.add_argument("--refresh-strategy",
+                     choices=("auto", "per-point", "batched", "grid"),
+                     default="auto",
+                     help="K-SKY refresh engine: per-point, batched, or "
+                          "grid (batched + grid-cell candidate pruning); "
+                          "auto defers to --no-batched-refresh (SOP only)")
     det.add_argument("--lazy", action="store_true",
                      help="refresh evidence only at boundaries with due "
                           "queries instead of eagerly every slide (SOP only)")
@@ -193,6 +199,7 @@ def _cmd_detect(args) -> int:
         eager=not args.lazy,
         use_batched_refresh=not args.no_batched_refresh,
         batch_min_rows=args.batch_min_rows,
+        refresh_strategy=args.refresh_strategy,
         shards=args.shards,
         backend=args.backend,
         replication_radius=args.replication_radius,

@@ -27,6 +27,7 @@ dominator-dependent reach table ``allowed_layer``.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -115,13 +116,37 @@ class _Resolution:
 
     def on_insert(self, lsky: LSky, layer: int) -> bool:
         """Update after an insert at ``layer``; True when all resolved."""
-        if not self.pending:
+        pending = self.pending
+        if not pending:
             return True
-        if len(self.pending) <= self._EXACT_LIMIT:
+        if len(pending) <= self._EXACT_LIMIT:
+            # Hot path: called once per skyband insert.  The dominator
+            # count is reused across adjacent entries sharing a
+            # ``min_layer`` (fixed-r workloads put every sub-group on one
+            # layer, so the whole list costs one bisect), and ``pending``
+            # is only rebuilt when something actually resolved, which is
+            # the rare case.
+            sl = lsky._sorted_layers
+            last_ml = -1
+            c = 0
+            for min_layer, k in pending:
+                if layer <= min_layer:
+                    if min_layer != last_ml:
+                        last_ml = min_layer
+                        c = bisect_right(sl, min_layer)
+                    if c >= k:
+                        break  # something resolved: rebuild below
+            else:
+                return False
             still = []
-            for min_layer, k in self.pending:
-                if layer <= min_layer and lsky.dominator_count(min_layer) >= k:
-                    continue  # resolved now
+            last_ml = -1
+            for min_layer, k in pending:
+                if layer <= min_layer:
+                    if min_layer != last_ml:
+                        last_ml = min_layer
+                        c = bisect_right(sl, min_layer)
+                    if c >= k:
+                        continue  # resolved now
                 still.append((min_layer, k))
             self.pending = still
             return not still
@@ -275,6 +300,7 @@ class KSkyRunner:
         p_seqs: Sequence[int],
         buffer: WindowBuffer,
         lo: int,
+        cand_idx: Optional[np.ndarray] = None,
     ) -> List[KSkyResult]:
         """Chunk-synchronous batched scans over live indexes ``[lo, end)``.
 
@@ -286,6 +312,26 @@ class KSkyRunner:
         identical to running :meth:`scan_new_arrivals` (``lo > 0``) or
         :meth:`run_new_point` (``lo == 0``) per row: the per-point path also
         pays for a whole chunk before scanning it.
+
+        ``cand_idx``, when given, restricts the pairwise kernels to a
+        candidate *subset*: an ascending, duplicate-free array of live
+        indexes (the grid-pruned refresh engine passes the cell
+        neighborhoods from ``GridCandidateIndex.candidates_within``).  The
+        scan still walks the full ``[lo, end)`` range chunk by chunk --
+        chunk boundaries stay anchored at the buffer top -- but each
+        chunk's kernel sees only the subset columns falling inside it
+        (views of one per-scan gather, ``pairwise_gathered``), and runs of
+        candidate-free chunks are folded into ``examined`` arithmetic in
+        one step: a boundary resolution check with no intervening insert
+        filters ``pending`` against an unchanged LSky, so skipping it is
+        state-identical.  Provided the excluded indexes are all
+        farther than the plan's largest radius (so ``layers_of`` would map
+        them past ``n_layers`` and the scan would discard them without
+        touching any state), insert decisions, termination points, LSky
+        contents and ``examined`` counts are bit-identical to the
+        full-range scan; only ``distance_rows`` shrinks.  Excluded
+        candidates are folded into ``examined`` arithmetically, exactly
+        like the vectorized-threshold skips below.
 
         Equivalence with the per-point path is exact -- same chunk
         boundaries (anchored at the buffer top), same insert decisions,
@@ -306,66 +352,193 @@ class KSkyRunner:
         k_max = plan.k_max
         allowed = plan.allowed_layer
         chunk = self.chunk_size
-        by_time = self.by_time
-        pts = buffer.points
         hi = len(buffer)
         n = len(p_seqs)
         mat = buffer.matrix()
+        # cached structure-of-arrays views (built once per buffer epoch,
+        # not per chunk): seqs and scan positions for the whole live region
+        seqs_all = buffer.seqs()
+        poss_all = buffer.positions(self.by_time)
 
         lskys = [LSky(n_layers) for _ in range(n)]
         resolutions = [_Resolution(plan, self._pending) for _ in range(n)]
         examined = [0] * n
         results: List[Optional[KSkyResult]] = [None] * n
         active = list(range(n))
-        block_hi = hi
-        while block_hi > lo and active:
+        # Single-layer fast path (fixed-r workloads).  With one layer and
+        # the exact per-insert resolution regime, the scan collapses: every
+        # selected candidate is at layer 0, is always insertable
+        # (``allowed[c] == 0`` for ``c < k_max``), and the scan terminates
+        # exactly at the ``k_max``-th insert (layer 0 is ``<= min_layer``
+        # for every sub-group, so all of ``pending`` resolves when the
+        # dominator count reaches the largest k).  The per-candidate
+        # bisect / insert / ``on_insert`` machinery is therefore replaced
+        # by one newest-first bulk take per (row, chunk) -- same inserts,
+        # same termination candidate, same ``examined`` arithmetic, same
+        # final ``pending`` (boundary ``check`` recomputes it from the
+        # LSky, which matches what per-insert filtering would have left).
+        single = (n_layers == 1 and bool(self._pending)
+                  and len(self._pending) <= _Resolution._EXACT_LIMIT)
+        n_chunks = -(-(hi - lo) // chunk) if hi > lo else 0
+        if cand_idx is None:
+            offs = cand_list = cand_mat = None
+        else:
+            # per-scan precomputation: one vectorized searchsorted locates
+            # every chunk's candidate span, one fancy-index gather
+            # materialises the candidate coordinates (per-chunk kernels
+            # then see views of it), one tolist serves every chunk
+            edges = np.maximum(hi - chunk * np.arange(n_chunks + 1), lo)
+            offs = np.searchsorted(cand_idx, edges, side="left").tolist()
+            cand_list = cand_idx.tolist()
+            cand_mat = mat[cand_idx] if cand_list else None
+        q_mat: Optional[np.ndarray] = None  # rebuilt when rows drop out
+        i = 0
+        while i < n_chunks and active:
+            block_hi = hi - i * chunk
             block_lo = max(lo, block_hi - chunk)
             width = block_hi - block_lo
-            q_idx = np.asarray([row_indexes[r] for r in active],
-                               dtype=np.intp)
-            dists = buffer.pairwise_block(mat[q_idx], block_lo, block_hi)
-            lmat = plan.grid.layers_of(dists)
-            blk = pts[block_lo:block_hi]
-            seqs_blk = [q.seq for q in blk]
-            if by_time:
-                poss_blk = [q.time for q in blk]
+            c_base = 0
+            if offs is None:
+                n_cols = width
             else:
-                poss_blk = [float(q.seq) for q in blk]
-            # per-row insert threshold: the k_max-th smallest stored layer
-            # (n_layers while fewer than k_max entries exist -- then every
-            # real layer is still insertable)
+                c_base = offs[i + 1]
+                n_cols = offs[i] - c_base
+                if n_cols == 0:
+                    # Candidate-free run.  No kernel and -- provably -- no
+                    # state change: a boundary resolution check filters
+                    # ``pending`` against an LSky no insert has touched
+                    # since the previous (already-run) check, so it
+                    # removes nothing and returns False for every row
+                    # still active.  The one exception, an empty pending
+                    # template, makes the *first* boundary check return
+                    # True and terminates below exactly where the unfolded
+                    # walk would.  Everything else folds the entire run
+                    # into ``examined`` arithmetic and jumps straight to
+                    # the next chunk holding a candidate.
+                    if c_base == 0:
+                        nxt_i = n_chunks
+                    else:
+                        nxt_i = (hi - 1 - cand_list[c_base - 1]) // chunk
+                    run_lo = max(lo, hi - nxt_i * chunk)
+                    still = []
+                    for row in active:
+                        self_idx = row_indexes[row]
+                        if resolutions[row].pending:
+                            examined[row] += (block_hi - run_lo) - (
+                                1 if run_lo <= self_idx < block_hi else 0)
+                            still.append(row)
+                            continue
+                        examined[row] += width - (
+                            1 if block_lo <= self_idx < block_hi else 0)
+                        results[row] = KSkyResult(
+                            lsky=lskys[row],
+                            examined=examined[row],
+                            terminated_early=True,
+                            resolved_all=True,
+                        )
+                    if len(still) != len(active):
+                        q_mat = None
+                    active = still
+                    i = nxt_i
+                    continue
+            if q_mat is None:
+                q_mat = mat[np.asarray(
+                    [row_indexes[r] for r in active], dtype=np.intp)]
+            if offs is None:
+                dists = buffer.pairwise_block(q_mat, block_lo, block_hi)
+            else:
+                dists = buffer.pairwise_gathered(
+                    q_mat, cand_mat[c_base:c_base + n_cols])
+            lmat = plan.grid.layers_of(dists)
+            # per-row insert threshold: the k_max-th smallest stored
+            # layer (n_layers while fewer than k_max entries exist --
+            # then every real layer is still insertable)
             thresh = np.empty(len(active), dtype=np.int64)
+            km1 = k_max - 1
             for a, row in enumerate(active):
-                t = lskys[row].k_distance_layer(k_max)
-                thresh[a] = n_layers if t is None else t
+                sl = lskys[row]._sorted_layers
+                thresh[a] = sl[km1] if km1 < len(sl) else n_layers
             rows_nz, js_nz = np.nonzero(lmat < thresh[:, None])
             seg = np.searchsorted(
                 rows_nz, np.arange(len(active) + 1)).tolist()
             js_all = js_nz.tolist()
-            ms_all = lmat[rows_nz, js_nz].tolist()
+            ms_all = None if single else lmat[rows_nz, js_nz].tolist()
 
             still = []
             for a, row in enumerate(active):
                 lsky = lskys[row]
                 resolution = resolutions[row]
-                dominator_count = lsky.dominator_count
-                insert = lsky.insert
-                on_insert = resolution.on_insert
-                p_seq = p_seqs[row]
                 terminated = False
+                inserted = False
                 jt = 0
-                for i in range(seg[a + 1] - 1, seg[a] - 1, -1):
-                    j = js_all[i]
-                    if seqs_blk[j] == p_seq:
-                        continue
-                    m = ms_all[i]
-                    c = dominator_count(m)
-                    if c < k_max and m <= allowed[c]:
-                        insert(seqs_blk[j], poss_blk[j], m)
-                        if on_insert(lsky, m):
+                if single:
+                    # bulk take: newest `k_max - len` selected candidates,
+                    # skipping the evaluated point's own column
+                    sb_seqs = lsky.seqs
+                    need = k_max - len(sb_seqs)
+                    lo_s = seg[a]
+                    self_idx = row_indexes[row]
+                    if offs is None:
+                        j_self = self_idx - block_lo
+                    elif block_lo <= self_idx < block_hi:
+                        p = bisect_left(cand_list, self_idx, c_base,
+                                        c_base + n_cols)
+                        j_self = (p - c_base if p < c_base + n_cols
+                                  and cand_list[p] == self_idx else -1)
+                    else:
+                        j_self = -1
+                    take: List[int] = []
+                    ii = seg[a + 1] - 1
+                    while ii >= lo_s and len(take) < need:
+                        j = js_all[ii]
+                        if j != j_self:
+                            take.append(block_lo + j if offs is None
+                                        else cand_list[c_base + j])
+                        ii -= 1
+                    if take:
+                        inserted = True
+                        sb_seqs.extend(seqs_all[x] for x in take)
+                        lsky.poss.extend(poss_all[x] for x in take)
+                        t = len(take)
+                        lsky.layers.extend([0] * t)
+                        lsky._sorted_layers.extend([0] * t)
+                        if t == need:
+                            # the k_max-th insert resolves every sub-group,
+                            # exactly as per-insert filtering would have
+                            resolution.pending = []
                             terminated = True
-                            jt = j
-                            break
+                            jt = take[-1] - block_lo
+                else:
+                    # skyband insert, hand-inlined: LSky.insert validates
+                    # its descending-seq invariant per call, which the
+                    # newest-first scan order already guarantees; the
+                    # per-point path keeps the validating method and the
+                    # lockstep equivalence suite compares LSky contents
+                    # against it
+                    sl = lsky._sorted_layers
+                    sb_seqs = lsky.seqs
+                    sb_poss = lsky.poss
+                    sb_layers = lsky.layers
+                    on_insert = resolution.on_insert
+                    p_seq = p_seqs[row]
+                    for ii in range(seg[a + 1] - 1, seg[a] - 1, -1):
+                        j = js_all[ii]
+                        idx = (block_lo + j if offs is None
+                               else cand_list[c_base + j])
+                        if seqs_all[idx] == p_seq:
+                            continue
+                        m = ms_all[ii]
+                        c = bisect_right(sl, m)
+                        if c < k_max and m <= allowed[c]:
+                            sb_seqs.append(seqs_all[idx])
+                            sb_poss.append(poss_all[idx])
+                            sb_layers.append(m)
+                            insort(sl, m)
+                            inserted = True
+                            if on_insert(lsky, m):
+                                terminated = True
+                                jt = idx - block_lo
+                                break
                 self_rel = row_indexes[row] - block_lo
                 self_in = 0 <= self_rel < width
                 if terminated:
@@ -380,17 +553,33 @@ class KSkyRunner:
                     )
                     continue
                 examined[row] += width - (1 if self_in else 0)
-                if resolution.check(lsky):
+                # the boundary resolution check is a no-op unless this
+                # row inserted during the chunk (it filters ``pending``
+                # against an LSky that has not changed since the previous
+                # boundary) -- except for an empty pending template,
+                # which makes the first boundary check return True
+                if inserted:
+                    if resolution.check(lsky):
+                        results[row] = KSkyResult(
+                            lsky=lsky,
+                            examined=examined[row],
+                            terminated_early=True,
+                            resolved_all=resolution.done,
+                        )
+                        continue
+                elif not resolution.pending:
                     results[row] = KSkyResult(
                         lsky=lsky,
                         examined=examined[row],
                         terminated_early=True,
-                        resolved_all=resolution.done,
+                        resolved_all=True,
                     )
                     continue
                 still.append(row)
+            if len(still) != len(active):
+                q_mat = None
             active = still
-            block_hi = block_lo
+            i += 1
         for row in active:
             resolution = resolutions[row]
             results[row] = KSkyResult(

@@ -56,7 +56,10 @@ by ``benchmarks/bench_ablations.py`` and ``benchmarks/bench_refresh.py``):
 * ``use_least_examination=False`` -- surviving points rescan the whole
   window instead of (new arrivals + old skyband);
 * ``use_batched_refresh=False`` -- surviving points launch one distance
-  kernel each (the pre-batching engine).
+  kernel each (the pre-batching engine);
+* ``refresh_strategy="grid"`` -- batched refresh with grid-cell candidate
+  pruning (``GridPrunedRefresh``); "per-point"/"batched" force the other
+  engines, "auto" (default) defers to ``use_batched_refresh``.
 
 All switches preserve output equality; they only trade CPU/memory.
 """
@@ -70,7 +73,12 @@ import numpy as np
 from ..baselines.base import Detector
 from ..engine.config import DetectorConfig
 from ..engine.evaluator import DueQueryEvaluator
-from ..engine.refresh import BatchedRefresh, PerPointRefresh, RefreshEngine
+from ..engine.refresh import (
+    BatchedRefresh,
+    GridPrunedRefresh,
+    PerPointRefresh,
+    RefreshEngine,
+)
 from ..engine.safety import SafetyTracker
 from ..metrics.profiling import RefreshProfile
 from ..streams.buffer import WindowBuffer
@@ -153,6 +161,7 @@ class SOPDetector(Detector):
         use_least_examination: bool = True,
         use_batched_refresh: bool = True,
         batch_min_rows: int = 8,
+        refresh_strategy: str = "auto",
         config: Optional[DetectorConfig] = None,
     ):
         if config is None:
@@ -164,6 +173,7 @@ class SOPDetector(Detector):
                 use_least_examination=use_least_examination,
                 use_batched_refresh=use_batched_refresh,
                 batch_min_rows=batch_min_rows,
+                refresh_strategy=refresh_strategy,
             )
         super().__init__(group, config.metric)
         #: the single source of truth for every switch and knob; persisted
@@ -178,8 +188,11 @@ class SOPDetector(Detector):
         self.use_batched_refresh = config.use_batched_refresh
         self.batch_min_rows = max(1, config.batch_min_rows)
         #: pluggable refresh strategy (see repro.engine.refresh)
+        strategy = config.resolved_refresh_strategy()
         self.refresh_engine: RefreshEngine = (
-            BatchedRefresh(self.batch_min_rows) if config.use_batched_refresh
+            GridPrunedRefresh(self.batch_min_rows) if strategy == "grid"
+            else BatchedRefresh(self.batch_min_rows)
+            if strategy == "batched"
             else PerPointRefresh()
         )
         #: safe-for-all component (see repro.engine.safety)

@@ -15,8 +15,10 @@ explicit architecture instead of an implementation detail of one class:
   subscribe to instead of re-implementing their own loops;
 * :class:`RefreshEngine` -- the strategy interface for the K-SKY refresh
   stage, with :class:`PerPointRefresh` (one distance kernel per evaluated
-  point, the paper's literal Alg. 3 loop) and :class:`BatchedRefresh`
-  (one pairwise kernel per boundary chunk) implementations;
+  point, the paper's literal Alg. 3 loop), :class:`BatchedRefresh` (one
+  pairwise kernel per boundary chunk), and :class:`GridPrunedRefresh`
+  (batched kernels restricted to grid-cell candidate neighborhoods)
+  implementations;
 * :class:`SafetyTracker` -- the safe-for-all test (Sec. 4.1/4.2) as a
   separable component;
 * :class:`DueQueryEvaluator` -- the vectorized due-query classification
@@ -30,7 +32,12 @@ each layer back to the paper).
 from .config import DetectorConfig
 from .evaluator import DueQueryEvaluator
 from .executor import ExecutorSubscriber, NULL_HOOKS, StreamExecutor
-from .refresh import BatchedRefresh, PerPointRefresh, RefreshEngine
+from .refresh import (
+    BatchedRefresh,
+    GridPrunedRefresh,
+    PerPointRefresh,
+    RefreshEngine,
+)
 from .safety import SafetyTracker
 
 __all__ = [
@@ -38,6 +45,7 @@ __all__ = [
     "DetectorConfig",
     "DueQueryEvaluator",
     "ExecutorSubscriber",
+    "GridPrunedRefresh",
     "NULL_HOOKS",
     "PerPointRefresh",
     "RefreshEngine",

@@ -41,6 +41,11 @@ class DetectorConfig:
     use_batched_refresh: bool = True
     #: crossover heuristic: batches smaller than this run per-point
     batch_min_rows: int = 8
+    #: which K-SKY refresh engine drives the boundary scans: "per-point",
+    #: "batched", or "grid" (batched + grid-cell candidate pruning);
+    #: "auto" defers to ``use_batched_refresh`` so configs predating this
+    #: field (old checkpoints, legacy kwargs) resolve unchanged
+    refresh_strategy: str = "auto"
     #: number of value-partitioned shards the runtime drives (1 = the
     #: classic single-executor path, byte-identical to pre-shard runs)
     shards: int = 1
@@ -52,6 +57,7 @@ class DetectorConfig:
     replication_radius: float = 0.0
 
     _BACKENDS = ("serial", "process")
+    _REFRESH_STRATEGIES = ("auto", "per-point", "batched", "grid")
 
     def __post_init__(self):
         if (isinstance(self.metric, DistanceMetric)
@@ -70,6 +76,22 @@ class DetectorConfig:
             )
         if self.replication_radius < 0:
             raise ValueError("replication_radius must be >= 0")
+        if self.refresh_strategy not in self._REFRESH_STRATEGIES:
+            raise ValueError(
+                f"refresh_strategy must be one of "
+                f"{self._REFRESH_STRATEGIES}, "
+                f"got {self.refresh_strategy!r}"
+            )
+
+    def resolved_refresh_strategy(self) -> str:
+        """The effective refresh strategy ("per-point"/"batched"/"grid").
+
+        An explicit ``refresh_strategy`` wins; ``"auto"`` resolves through
+        the older ``use_batched_refresh`` ablation flag.
+        """
+        if self.refresh_strategy != "auto":
+            return self.refresh_strategy
+        return "batched" if self.use_batched_refresh else "per-point"
 
     # -------------------------------------------------------- serialization
 

@@ -15,7 +15,16 @@ examination, Alg. 1 / Lemma 2).  *What* is scanned is fixed by the paper;
   (``KSkyRunner.scan_batched``); scan order, chunk boundaries, and
   termination cadence replicate the per-point path exactly, so outputs and
   work accounting are identical (``tests/test_sop_batched.py`` is the
-  gate).
+  gate);
+* :class:`GridPrunedRefresh` -- batched scans, but each evaluated point's
+  pairwise kernels see only the candidates in grid cells intersecting its
+  ``r_max`` ball (:class:`~repro.index.GridCandidateIndex`).  Every pruned
+  candidate is farther than ``r_max``, i.e. exactly a candidate
+  ``layers_of`` would map past ``n_layers`` and the scan would discard
+  without touching any state (Def. 5 condition 3), so outputs, LSky
+  contents and termination points stay bit-identical while the kernel
+  shrinks from O(rows x window) to O(rows x neighborhood)
+  (``tests/test_sop_grid.py`` is the gate).
 
 The strategy owns the shared partition step (scratch vs. survivors, from
 ``_PointState.last_seen_seq``) and the per-boundary profile sample; the
@@ -27,9 +36,14 @@ mutation generation.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["RefreshEngine", "PerPointRefresh", "BatchedRefresh"]
+import numpy as np
+
+from ..index import GridCandidateIndex
+
+__all__ = ["RefreshEngine", "PerPointRefresh", "BatchedRefresh",
+           "GridPrunedRefresh"]
 
 
 class RefreshEngine:
@@ -79,11 +93,14 @@ class RefreshEngine:
             batch_rows += self._scan_survivors(
                 det, new_from, group, window_start, n_live, newest_seq)
 
+        pruned, cells_visited = self._take_prune_stats()
         det.profile.record(
             time.perf_counter_ns() - t0,
             buf.kernel_calls - kernels0,
             batch_rows,
             det.stats["points_examined"] - examined0,
+            pruned,
+            cells_visited,
         )
 
     # ------------------------------------------------------------ interface
@@ -96,6 +113,10 @@ class RefreshEngine:
                         newest_seq) -> int:
         """Scan one survivor group (shared first-unseen index)."""
         raise NotImplementedError
+
+    def _take_prune_stats(self) -> Tuple[int, int]:
+        """(candidates_pruned, cells_visited) since last taken; resets."""
+        return 0, 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -160,3 +181,149 @@ class BatchedRefresh(PerPointRefresh):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BatchedRefresh(batch_min_rows={self.batch_min_rows})"
+
+
+class GridPrunedRefresh(BatchedRefresh):
+    """Batched refresh with grid-cell candidate pruning.
+
+    Maintains a :class:`~repro.index.GridCandidateIndex` over the
+    detector's window buffer (cell size = the plan's largest radius
+    ``r_max``, synced incrementally each use) and, past the batching
+    crossover, feeds ``KSkyRunner.scan_batched`` the per-point candidate
+    subset instead of the whole scan range.  Evaluated points binned to
+    the same grid cell share one candidate array and one kernel group;
+    tiny neighbouring groups are merged up to ``_MERGE_MIN_ROWS`` rows
+    (their candidate union stays exact, see ``_merge_small_groups``).
+
+    Exactness: a candidate outside the neighborhood is farther than
+    ``r_max`` on some axis, hence farther than ``r_max`` under any
+    registered metric, hence ``layers_of`` maps it past ``n_layers`` and
+    the unpruned scan discards it without mutating scan state.  The
+    subset scan keeps chunk boundaries and resolution cadence anchored in
+    buffer-index space, so insert decisions, termination points, LSky
+    contents, outputs and ``points_examined`` are bit-identical to
+    :class:`BatchedRefresh`; only ``distance_rows``/``kernel_calls``
+    shrink (that is the measured win, see
+    ``benchmarks/bench_grid_refresh.py``).
+
+    Below the crossover the inherited per-point fallback runs unpruned --
+    tiny batches cannot amortize the neighborhood assembly.
+    """
+
+    name = "grid"
+
+    #: merge tiny per-cell groups (in sorted-cell order, so spatially
+    #: adjacent cells merge first) until each scan carries at least this
+    #: many rows.  The per-scan and per-chunk fixed costs then amortize;
+    #: the price is a slightly larger candidate union, and the extra
+    #: columns are beyond ``r_max`` for the rows of the *other* cells, so
+    #: the scan discards them without state change -- the same exactness
+    #: argument as the pruning itself.
+    _MERGE_MIN_ROWS = 24
+
+    def __init__(self, batch_min_rows: int = 8):
+        super().__init__(batch_min_rows)
+        self._grid: Optional[GridCandidateIndex] = None
+        self._r_max = 0.0
+        self._pruned = 0
+        self._cells_seen = 0
+
+    def _ensure_grid(self, det) -> GridCandidateIndex:
+        """The detector's candidate grid, synced to its buffer."""
+        grid = self._grid
+        if grid is None:
+            # one cell per r_max: the neighborhood is then the 3^dim
+            # Moore neighborhood, the standard grid-pruning cell choice
+            self._r_max = float(det.plan.grid.values[-1])
+            grid = self._grid = GridCandidateIndex(self._r_max)
+            self._cells_seen = 0
+        grid.sync(det.buffer)
+        return grid
+
+    def _take_prune_stats(self) -> Tuple[int, int]:
+        pruned, self._pruned = self._pruned, 0
+        cells = 0
+        if self._grid is not None:
+            cells = self._grid.cells_visited - self._cells_seen
+            self._cells_seen = self._grid.cells_visited
+        return pruned, cells
+
+    def _cell_groups(self, det, rows: List[int]
+                     ) -> List[Tuple[np.ndarray, List[int]]]:
+        """(candidate array, member positions) per unique query cell."""
+        grid = self._ensure_grid(det)
+        mat = det.buffer.matrix()
+        q_rows = np.asarray(rows, dtype=np.intp)
+        arrays, assign = grid.candidates_within(mat[q_rows], self._r_max)
+        members: Dict[int, List[int]] = {}
+        for i, g in enumerate(assign.tolist()):
+            members.setdefault(g, []).append(i)
+        groups = [(arrays[g], members[g]) for g in sorted(members)]
+        return self._merge_small_groups(groups)
+
+    @classmethod
+    def _merge_small_groups(cls, groups):
+        """Coalesce consecutive sub-``_MERGE_MIN_ROWS`` cell groups."""
+        if len(groups) <= 1:
+            return groups
+        merged = []
+        acc_arrays: List[np.ndarray] = []
+        acc_idxs: List[int] = []
+        for cand, idxs in groups:
+            acc_arrays.append(cand)
+            acc_idxs.extend(idxs)
+            if len(acc_idxs) >= cls._MERGE_MIN_ROWS:
+                merged.append((cls._union(acc_arrays), acc_idxs))
+                acc_arrays, acc_idxs = [], []
+        if acc_idxs:
+            merged.append((cls._union(acc_arrays), acc_idxs))
+        return merged
+
+    @staticmethod
+    def _union(arrays: List[np.ndarray]) -> np.ndarray:
+        if len(arrays) == 1:
+            return arrays[0]
+        return np.unique(np.concatenate(arrays))
+
+    def _scan_scratch(self, det, scratch, newest_seq) -> int:
+        if len(scratch) < self.batch_min_rows:
+            return super()._scan_scratch(det, scratch, newest_seq)
+        det.stats["batched_scans"] += len(scratch)
+        hi = len(det.buffer)
+        groups = self._cell_groups(det, [idx for idx, _, _ in scratch])
+        for cand, idxs in groups:
+            self._pruned += (hi - len(cand)) * len(idxs)
+            results = det.runner.scan_batched(
+                [scratch[i][0] for i in idxs],
+                [scratch[i][1].seq for i in idxs],
+                det.buffer, 0, cand_idx=cand)
+            for i, result in zip(idxs, results):
+                _, p, st = scratch[i]
+                det._commit_scratch(p, st, result, newest_seq)
+        return len(scratch)
+
+    def _scan_survivors(self, det, new_from, group, window_start, n_live,
+                        newest_seq) -> int:
+        if n_live <= new_from or len(group) < self.batch_min_rows:
+            return super()._scan_survivors(det, new_from, group,
+                                           window_start, n_live, newest_seq)
+        det.stats["batched_scans"] += len(group)
+        span = n_live - new_from
+        groups = self._cell_groups(det, [idx for idx, _, _ in group])
+        for cand, idxs in groups:
+            # least examination: only the arrivals this survivor group has
+            # not scanned yet are candidates
+            c_lo = int(np.searchsorted(cand, new_from, side="left"))
+            cand = cand[c_lo:]
+            self._pruned += (span - len(cand)) * len(idxs)
+            results = det.runner.scan_batched(
+                [group[i][0] for i in idxs],
+                [group[i][1].seq for i in idxs],
+                det.buffer, new_from, cand_idx=cand)
+            for i, scan in zip(idxs, results):
+                _, p, st = group[i]
+                det._commit_survivor(p, st, scan, window_start, newest_seq)
+        return len(group)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridPrunedRefresh(batch_min_rows={self.batch_min_rows})"

@@ -15,7 +15,14 @@ that -- and to keep it provable as the code evolves --
   paper's ``L``); the per-point path spends one Python loop iteration per
   candidate, the batched path prunes provably-rejected candidates
   vectorized, so this counter is path-independent while the interpreter
-  work it represents is not.
+  work it represents is not;
+* ``candidates_pruned`` -- candidate columns the grid-pruned refresh
+  engine kept out of the pairwise kernels entirely (0 on the unpruned
+  paths); ``python_insert_iters`` still counts them -- pruning shrinks
+  ``distance_rows``, not the logical scan;
+* ``kernel_cells_visited`` -- grid-cell probes served by
+  ``GridCandidateIndex.candidates_within`` while assembling those
+  candidate sets (the pruning overhead's own cost driver).
 
 Aggregates are cheap to keep and are surfaced through
 ``SOPDetector.work_stats()`` into ``RunResult.work``;
@@ -30,15 +37,16 @@ from typing import Dict, List, Tuple
 __all__ = ["RefreshProfile"]
 
 #: one per-boundary sample: (refresh_ns, kernel_launches, batch_rows,
-#: python_insert_iters)
-BoundarySample = Tuple[int, int, int, int]
+#: python_insert_iters, candidates_pruned, kernel_cells_visited)
+BoundarySample = Tuple[int, int, int, int, int, int]
 
 
 class RefreshProfile:
     """Accumulates per-boundary refresh samples plus running totals."""
 
     __slots__ = ("boundaries", "refresh_ns", "kernel_launches", "batch_rows",
-                 "python_insert_iters", "samples", "keep_samples")
+                 "python_insert_iters", "candidates_pruned",
+                 "kernel_cells_visited", "samples", "keep_samples")
 
     def __init__(self, keep_samples: bool = True):
         self.boundaries: int = 0
@@ -46,21 +54,28 @@ class RefreshProfile:
         self.kernel_launches: int = 0
         self.batch_rows: int = 0
         self.python_insert_iters: int = 0
+        self.candidates_pruned: int = 0
+        self.kernel_cells_visited: int = 0
         self.keep_samples = keep_samples
         #: per-boundary samples (only when ``keep_samples``)
         self.samples: List[BoundarySample] = []
 
     def record(self, refresh_ns: int, kernel_launches: int, batch_rows: int,
-               python_insert_iters: int) -> None:
+               python_insert_iters: int, candidates_pruned: int = 0,
+               kernel_cells_visited: int = 0) -> None:
         """Record one refreshed boundary."""
         self.boundaries += 1
         self.refresh_ns += refresh_ns
         self.kernel_launches += kernel_launches
         self.batch_rows += batch_rows
         self.python_insert_iters += python_insert_iters
+        self.candidates_pruned += candidates_pruned
+        self.kernel_cells_visited += kernel_cells_visited
         if self.keep_samples:
             self.samples.append(
-                (refresh_ns, kernel_launches, batch_rows, python_insert_iters)
+                (refresh_ns, kernel_launches, batch_rows,
+                 python_insert_iters, candidates_pruned,
+                 kernel_cells_visited)
             )
 
     # ------------------------------------------------------------ summaries
@@ -87,6 +102,8 @@ class RefreshProfile:
             "kernel_launches": self.kernel_launches,
             "batch_rows": self.batch_rows,
             "python_insert_iters": self.python_insert_iters,
+            "candidates_pruned": self.candidates_pruned,
+            "kernel_cells_visited": self.kernel_cells_visited,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -55,6 +55,16 @@ class WindowBuffer:
         # cached live-region list; rebuilt lazily after mutations so hot
         # paths (K-SKY scans every point every boundary) avoid re-slicing
         self._view: Optional[List[Point]] = None
+        # cached structure-of-arrays views of the live region (Python
+        # lists, so the K-SKY scan loops touch ints/floats without per-
+        # candidate attribute access); invalidated with _view
+        self._seq_list: Optional[List[int]] = None
+        self._pos_seq_list: Optional[List[float]] = None
+        self._pos_time_list: Optional[List[float]] = None
+        #: total points ever appended (monotone; never reset) -- attached
+        #: grid indexes use it as an absolute position axis that survives
+        #: eviction and compaction
+        self._appended = 0
         #: total point-to-point distance evaluations served by this buffer
         #: (the substrate-independent work metric; see repro.bench)
         self.distance_rows: int = 0
@@ -85,6 +95,53 @@ class WindowBuffer:
         if not 0 <= i < len(self):
             raise IndexError(i)
         return self._pts[self._start + i]
+
+    @property
+    def appended_total(self) -> int:
+        """Total points ever appended (monotone across eviction/compaction).
+
+        ``appended_total - len(self)`` is the number of evicted points;
+        live index ``i`` corresponds to absolute position
+        ``appended_total - len(self) + i``.
+        """
+        return self._appended
+
+    def seqs(self) -> List[int]:
+        """Live-region sequence numbers as a cached list of Python ints.
+
+        The K-SKY scan loops index this instead of touching ``Point``
+        attributes per candidate; treat it as read-only.
+        """
+        if self._seq_list is None:
+            if self._seqs is None or self._start >= self._len:
+                self._seq_list = []
+            else:
+                self._seq_list = self._seqs[self._start:self._len].tolist()
+        return self._seq_list
+
+    def positions(self, by_time: bool) -> List[float]:
+        """Live-region window positions (cached list of Python floats).
+
+        Positions are ``time`` for time-based windows, ``float(seq)`` for
+        count-based ones -- the same convention as ``evict_before``.
+        Treat the returned list as read-only.
+        """
+        if by_time:
+            if self._pos_time_list is None:
+                if self._times is None or self._start >= self._len:
+                    self._pos_time_list = []
+                else:
+                    self._pos_time_list = (
+                        self._times[self._start:self._len].tolist())
+            return self._pos_time_list
+        if self._pos_seq_list is None:
+            if self._seqs is None or self._start >= self._len:
+                self._pos_seq_list = []
+            else:
+                self._pos_seq_list = (
+                    self._seqs[self._start:self._len]
+                    .astype(np.float64).tolist())
+        return self._pos_seq_list
 
     # --------------------------------------------------------------- mutation
 
@@ -117,7 +174,8 @@ class WindowBuffer:
         self._times[self._len : end] = [p.time for p in new]
         self._len = end
         self._pts.extend(new)
-        self._view = None
+        self._appended += len(new)
+        self._invalidate_views()
 
     def _ensure_capacity(self, needed: int) -> None:
         if self._mat is None:
@@ -162,7 +220,7 @@ class WindowBuffer:
             return []
         evicted = self._pts[self._start : i]
         self._start = i
-        self._view = None
+        self._invalidate_views()
         self._maybe_compact()
         return evicted
 
@@ -177,14 +235,24 @@ class WindowBuffer:
         self._pts = self._pts[self._start :]
         self._len = live
         self._start = 0
-        self._view = None
+        self._invalidate_views()
 
     def clear(self) -> None:
-        """Drop everything (used when a detector is reset)."""
+        """Drop everything (used when a detector is reset).
+
+        ``appended_total`` is *not* reset: it is an absolute position axis
+        and attached grid indexes rely on its monotonicity.
+        """
         self._pts = []
         self._len = 0
         self._start = 0
+        self._invalidate_views()
+
+    def _invalidate_views(self) -> None:
         self._view = None
+        self._seq_list = None
+        self._pos_seq_list = None
+        self._pos_time_list = None
 
     # ---------------------------------------------------------------- lookup
 
@@ -276,7 +344,51 @@ class WindowBuffer:
         self.distance_rows += n_rows * n_cols
         if n_rows == 0 or n_cols == 0:
             return np.empty((n_rows, n_cols), dtype=np.float64)
-        sub = block[lo:hi]
+        return self._pairwise_tiled(queries, block[lo:hi])
+
+    def pairwise_rows(
+        self, queries: np.ndarray, col_idx: np.ndarray
+    ) -> np.ndarray:
+        """Distance matrix from ``queries`` rows to the live points at the
+        given live indexes (``col_idx``, any order, duplicates allowed).
+
+        This is the grid-pruned refresh kernel: instead of a contiguous
+        ``[lo, hi)`` slice it gathers only the spatially plausible
+        candidate columns, so the kernel shrinks from O(rows x window) to
+        O(rows x neighborhood).  Each element is bit-identical to the
+        corresponding column of :meth:`pairwise_block` (same elementwise
+        arithmetic on the same float64 values), which the pruned/unpruned
+        output-equality gates depend on.  ``distance_rows`` counts only
+        the distances actually computed -- the pruning saving is visible
+        in the counter, unlike the batched engine's folding.
+        """
+        return self.pairwise_gathered(queries, self.matrix()[col_idx])
+
+    def pairwise_gathered(
+        self, queries: np.ndarray, sub: np.ndarray
+    ) -> np.ndarray:
+        """Distance matrix from ``queries`` rows to a pre-gathered
+        candidate sub-matrix (rows of :meth:`matrix`, gathered by the
+        caller).
+
+        Splitting the gather from the kernel lets a chunked scan gather
+        its whole candidate span once and pass per-chunk *views* here,
+        instead of paying one fancy-index copy per chunk
+        (:meth:`pairwise_rows` is the gather-included convenience form).
+        Arithmetic and ``distance_rows`` accounting are identical.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        n_rows, n_cols = queries.shape[0], sub.shape[0]
+        self.distance_rows += n_rows * n_cols
+        if n_rows == 0 or n_cols == 0:
+            return np.empty((n_rows, n_cols), dtype=np.float64)
+        return self._pairwise_tiled(queries, sub)
+
+    def _pairwise_tiled(self, queries: np.ndarray,
+                        sub: np.ndarray) -> np.ndarray:
+        """Shared tiling for the batched pairwise kernels (bounds transient
+        memory; one ``kernel_calls`` increment per tile)."""
+        n_rows, n_cols = queries.shape[0], sub.shape[0]
         per_tile = max(
             1, self._PAIRWISE_TILE_ELEMS // max(n_cols * sub.shape[1], 1)
         )

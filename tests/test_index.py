@@ -1,12 +1,20 @@
 """Unit and property tests for the grid index substrate."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Point, euclidean, manhattan
-from repro.index import GridIndex, IndexedWindow
+from repro import Point, euclidean, get_metric, manhattan
+from repro.index import (
+    GridCandidateIndex,
+    GridIndex,
+    IndexedWindow,
+    cells_of_block,
+)
+from repro.streams.buffer import WindowBuffer
 
 from conftest import line_points
 
@@ -103,6 +111,169 @@ def test_grid_matches_brute_force(rows, probe, r, cell):
     assert got == expected
 
 
+class TestCellsOfBlock:
+    def test_matches_scalar_cell_of_bitwise(self):
+        """Block binning must agree with the scalar ``cell_of`` everywhere,
+        including exact cell boundaries and negative coordinates."""
+        idx = GridIndex(0.7)
+        rows = [(0.0, 0.0), (0.7, -0.7), (1.4, 0.35), (-0.35, 2.1),
+                (123.456, -98.7), (0.6999999999999999, 0.7000000000000001)]
+        block = cells_of_block(np.asarray(rows), 0.7)
+        for row, got in zip(rows, block.tolist()):
+            assert tuple(got) == idx.cell_of(row)
+
+    @given(rows=st.lists(st.tuples(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)),
+        min_size=1, max_size=40),
+        cell=st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_scalar(self, rows, cell):
+        idx = GridIndex(cell)
+        block = cells_of_block(np.asarray(rows), cell)
+        for row, got in zip(rows, block.tolist()):
+            assert tuple(got) == idx.cell_of(row)
+
+
+class TestInsertBlock:
+    def test_equivalent_to_insert_loop(self):
+        pts = pts2d([(0.1, 0.2), (5.5, -3.2), (0.15, 0.25), (-7.0, 7.0)])
+        a, b = GridIndex(1.0), GridIndex(1.0)
+        a.insert_block(pts)
+        for p in pts:
+            b.insert(p)
+        assert a._cells.keys() == b._cells.keys()
+        for cell in a._cells:
+            assert a._cells[cell] == b._cells[cell]
+
+    def test_duplicate_within_block_rejected_atomically(self):
+        idx = GridIndex(1.0)
+        pts = pts2d([(0.0, 0.0)]) + pts2d([(1.0, 1.0)])  # both seq 0
+        with pytest.raises(ValueError, match="already indexed"):
+            idx.insert_block(pts)
+        assert len(idx) == 0
+
+    def test_duplicate_against_existing_rejected(self):
+        idx = GridIndex(1.0)
+        idx.insert(Point(seq=0, values=(0.0,)))
+        with pytest.raises(ValueError, match="already indexed"):
+            idx.insert_block([Point(seq=0, values=(3.0,))])
+        assert len(idx) == 1
+
+
+def _buffer_with(values, metric="euclidean"):
+    buf = WindowBuffer(get_metric(metric))
+    buf.extend(line_points(values))
+    return buf
+
+
+class TestGridCandidateIndex:
+    def test_cell_size_validated(self):
+        with pytest.raises(ValueError):
+            GridCandidateIndex(0.0)
+
+    def test_sync_and_candidates(self):
+        buf = _buffer_with([0.0, 0.5, 10.0, 10.4, 50.0])
+        grid = GridCandidateIndex(1.0)
+        grid.sync(buf)
+        assert len(grid) == len(buf)
+        arrays, assign = grid.candidates_within(buf.matrix()[:1], 1.0)
+        assert sorted(arrays[int(assign[0])].tolist()) == [0, 1]
+
+    def test_candidates_are_conservative_superset(self, rng):
+        values = rng.uniform(0, 100, size=200)
+        buf = _buffer_with(values)
+        grid = GridCandidateIndex(7.0)
+        grid.sync(buf)
+        r = 7.0
+        arrays, assign = grid.candidates_within(buf.matrix(), r)
+        mat = buf.matrix()[:, 0]
+        for i in range(len(buf)):
+            cand = set(arrays[int(assign[i])].tolist())
+            true = set(np.nonzero(np.abs(mat - mat[i]) <= r)[0].tolist())
+            assert true <= cand
+
+    def test_shared_cell_shares_array_object(self):
+        buf = _buffer_with([0.1, 0.2, 0.3, 9.0])
+        grid = GridCandidateIndex(1.0)
+        grid.sync(buf)
+        arrays, assign = grid.candidates_within(buf.matrix()[:3], 1.0)
+        # three queries in one cell -> one unique cell, one array
+        assert len(arrays) == 1
+        assert assign.tolist() == [0, 0, 0]
+
+    def test_eviction_drops_dead_candidates(self):
+        buf = _buffer_with(np.linspace(0, 10, 50))
+        grid = GridCandidateIndex(2.0)
+        grid.sync(buf)
+        buf.evict_before(20.0, by_time=False)  # seqs 0..19 evicted
+        grid.sync(buf)
+        assert len(grid) == len(buf) == 30
+        arrays, assign = grid.candidates_within(buf.matrix(), 2.0)
+        hi = len(buf)
+        for arr in arrays:
+            assert len(arr) == 0 or (0 <= arr[0] and arr[-1] < hi)
+            assert (np.diff(arr) > 0).all()
+
+    def test_fresh_grid_on_warm_buffer_fast_forwards(self):
+        """A grid attached after the buffer has already evicted must index
+        only the live region, on the right absolute axis."""
+        buf = _buffer_with(np.linspace(0, 10, 40))
+        buf.evict_before(25.0, by_time=False)
+        grid = GridCandidateIndex(2.0)
+        grid.sync(buf)
+        assert len(grid) == len(buf) == 15
+        arrays, assign = grid.candidates_within(buf.matrix(), 2.0)
+        union = set()
+        for arr in arrays:
+            union |= set(arr.tolist())
+        assert union <= set(range(len(buf)))
+
+    def test_sweep_drops_empty_cells(self):
+        n = GridCandidateIndex._SWEEP_THRESHOLD + 64
+        buf = _buffer_with(np.arange(n, dtype=float))
+        grid = GridCandidateIndex(1.0)
+        grid.sync(buf)
+        cells_before = grid.cell_count()
+        buf.evict_before(float(n - 8), by_time=False)
+        grid.sync(buf)
+        assert grid.cell_count() < cells_before
+        assert len(grid) == len(buf) == 8
+
+    def test_candidate_exactly_at_r_max_never_pruned(self):
+        """Cell-boundary off-by-one guard: a neighbor at distance exactly
+        r_max sits ``reach`` whole cells away and must stay a candidate."""
+        for r in (1.0, 0.1, 0.3, 100.0, 7.77):
+            buf = _buffer_with([0.0, r])
+            grid = GridCandidateIndex(r)
+            grid.sync(buf)
+            arrays, assign = grid.candidates_within(buf.matrix(), r)
+            for i in (0, 1):
+                cand = arrays[int(assign[i])].tolist()
+                assert 1 - i in cand, f"r={r}: {1 - i} pruned for row {i}"
+
+    def test_r_max_boundary_2d_diagonal(self):
+        r = 5.0
+        # exactly r away along an axis, and a diagonal point just inside r
+        rows = [(0.0, 0.0), (r, 0.0), (r / math.sqrt(2) - 1e-9,
+                                       r / math.sqrt(2) - 1e-9)]
+        buf = WindowBuffer(get_metric("euclidean"))
+        buf.extend([Point(seq=i, values=v) for i, v in enumerate(rows)])
+        grid = GridCandidateIndex(r)
+        grid.sync(buf)
+        arrays, assign = grid.candidates_within(buf.matrix()[:1], r)
+        cand = set(arrays[int(assign[0])].tolist())
+        assert {1, 2} <= cand
+
+    def test_cells_visited_counter_advances(self):
+        buf = _buffer_with([0.0, 1.0, 2.0])
+        grid = GridCandidateIndex(1.0)
+        grid.sync(buf)
+        assert grid.cells_visited == 0
+        grid.candidates_within(buf.matrix(), 1.0)
+        assert grid.cells_visited > 0
+
+
 class TestIndexedWindow:
     def test_extend_and_evict(self):
         win = IndexedWindow(cell_size=1.0)
@@ -134,3 +305,40 @@ class TestIndexedWindow:
         win.extend(line_points([1, 2, 3], times=[0.5, 5.0, 9.0]))
         win.evict_before(4.0)
         assert [p.seq for p in win.points] == [1, 2]
+
+    def test_bulk_extend_equivalent_to_incremental(self, rng):
+        values = rng.uniform(0, 30, size=120)
+        bulk = IndexedWindow(cell_size=2.0)
+        bulk.extend(line_points(values))
+        inc = IndexedWindow(cell_size=2.0)
+        for p in line_points(values):
+            inc.extend([p])
+        assert len(bulk) == len(inc)
+        assert bulk.index._cells.keys() == inc.index._cells.keys()
+        for probe in (0.0, 11.5, 29.0):
+            assert (bulk.neighbor_count((probe,), 2.0)
+                    == inc.neighbor_count((probe,), 2.0))
+
+    def test_compaction_branch_regression(self, rng):
+        """Evicting past the 4096 dead-prefix threshold triggers storage
+        compaction; the window and grid must stay consistent through it."""
+        n = 4200
+        values = rng.uniform(0, 50, size=n)
+        win = IndexedWindow(cell_size=5.0)
+        win.extend(line_points(values))
+        # evict everything: dead prefix (4200) > 4096 and >= live (0)
+        evicted = win.evict_before(float(n))
+        assert len(evicted) == n
+        assert len(win) == 0 and win._start == 0 and win._points == []
+        assert len(win.index) == 0
+        # the window keeps working after compaction, and seq-order
+        # validation still sees the pre-compaction tail
+        tail = line_points(rng.uniform(0, 50, size=64), start_seq=n)
+        win.extend(tail)
+        assert len(win) == 64
+        live = np.asarray([p.values[0] for p in win.points])
+        for probe in (10.0, 40.0):
+            expected = int((np.abs(live - probe) <= 5.0).sum())
+            assert win.neighbor_count((probe,), 5.0) == expected
+        with pytest.raises(ValueError, match="increasing"):
+            win.extend(line_points([1.0], start_seq=n))  # stale seq
