@@ -93,16 +93,26 @@ from .runtime import (
     Runtime,
     SerialBackend,
     ShardExecutor,
+    ShardFailure,
     StreamPartitioner,
+    SupervisedProcessBackend,
     make_backend,
 )
 from .metrics.results import merge_work
 from .streams.buffer import WindowBuffer
 from .streams.source import (
+    IngestGuard,
     ListSource,
     StreamSource,
     batches_by_boundary,
     stream_end_boundary,
+)
+from .testing import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    tear_file,
 )
 from .streams.replay import (
     load_points_csv,

@@ -21,6 +21,11 @@ saved config by default and fails loudly on a mismatch when a custom
 factory builds a detector with a different config.
 
 Format: a JSON header line followed by one JSON line per retained point.
+The header carries the point count, and every write is atomic (temp file
+in the same directory + fsync + rename): a crash mid-write can neither
+replace a good checkpoint with a torn one nor leave a truncated file
+that restores short -- :func:`load_checkpoint` fails loudly, naming the
+file, when the body disagrees with the promised count.
 
 Periodic checkpointing is an executor concern: :class:`CheckpointSubscriber`
 listens to ``on_boundary_end`` and rewrites the file every ``interval``
@@ -40,8 +45,9 @@ replaying the stream.  :func:`save_sharded_checkpoint` /
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from .core.point import Point
 from .core.queries import OutlierQuery, QueryGroup
@@ -64,12 +70,36 @@ PathLike = Union[str, Path]
 _FORMAT_VERSION = 1
 
 
+def _atomic_write_lines(path: Path, lines: Iterable[str]) -> None:
+    """Crash-safe file write: temp file in the same directory + fsync +
+    atomic rename.
+
+    A crash at any instant leaves either the previous file intact or the
+    complete new one -- never a half-written target.  The fsync before
+    the rename matters: without it the rename can land on disk before
+    the data, and a power loss yields exactly the torn file the rename
+    was supposed to prevent.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        for line in lines:
+            fh.write(line)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def save_checkpoint(detector, last_boundary: int, path: PathLike) -> int:
     """Write a checkpoint for a detector after boundary ``last_boundary``.
 
     Works for any detector exposing ``group`` and a ``buffer`` of live
     points (all detectors in this package).  Returns the number of points
     saved.
+
+    The write is atomic (temp file + fsync + rename) and the header
+    records the point count, so a torn file can neither replace a good
+    checkpoint nor be silently restored short: :func:`load_checkpoint`
+    fails loudly when the body does not match the promised count.
     """
     group = detector.group
     buffer = getattr(detector, "buffer", None)
@@ -93,15 +123,16 @@ def save_checkpoint(detector, last_boundary: int, path: PathLike) -> int:
             for q in group.queries
         ],
     }
+    header["points"] = len(points)
     config = getattr(detector, "config", None)
     if isinstance(config, DetectorConfig):
         header["config"] = config.as_dict()
-    with open(path, "w") as fh:
-        fh.write(json.dumps(header) + "\n")
-        for p in points:
-            fh.write(json.dumps(
-                {"seq": p.seq, "time": p.time, "values": list(p.values)}
-            ) + "\n")
+    lines = [json.dumps(header) + "\n"]
+    for p in points:
+        lines.append(json.dumps(
+            {"seq": p.seq, "time": p.time, "values": list(p.values)}
+        ) + "\n")
+    _atomic_write_lines(Path(path), lines)
     return len(points)
 
 
@@ -171,6 +202,12 @@ def load_checkpoint(
                 ))
             except (KeyError, TypeError, ValueError) as exc:
                 raise ValueError(f"{path}:{lineno}: malformed point") from exc
+        expected = header.get("points")
+        if expected is not None and len(points) != int(expected):
+            raise ValueError(
+                f"{path}: truncated checkpoint: header promises "
+                f"{expected} point(s), file holds {len(points)}"
+            )
     group = QueryGroup(queries)
     if factory is None:
         from .core.sop import SOPDetector
@@ -199,8 +236,8 @@ class CheckpointSubscriber(ExecutorSubscriber):
     """Executor subscriber that persists the detector periodically.
 
     ``interval`` counts processed boundaries between checkpoint writes;
-    the file is rewritten atomically-ish (write then replace) so a crash
-    mid-write leaves the previous checkpoint intact.
+    :func:`save_checkpoint` is atomic (temp file + fsync + rename), so a
+    crash at any moment leaves the previous complete checkpoint intact.
     """
 
     def __init__(self, path: PathLike, interval: int = 10):
@@ -214,9 +251,7 @@ class CheckpointSubscriber(ExecutorSubscriber):
     def on_boundary_end(self, t, outputs) -> None:
         self._since += 1
         if self._since >= self.interval:
-            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-            save_checkpoint(self.executor.detector, t, tmp)
-            tmp.replace(self.path)
+            save_checkpoint(self.executor.detector, t, self.path)
             self.checkpoints_written += 1
             self._since = 0
 
@@ -285,6 +320,10 @@ def save_sharded_checkpoint(runtime, last_boundary: int,
     file names.  Returns the total points saved (border replicas counted
     once per holding shard, as stored).
 
+    Every file write is atomic, and the manifest lands last: a crash at
+    any instant leaves the previous manifest pointing at
+    previous-or-newer complete segments -- always a restorable state.
+
     Requires live shard executors, i.e. a serial-backend runtime -- the
     process backend runs shards inside workers and cannot be checkpointed
     mid-stream.
@@ -297,9 +336,8 @@ def save_sharded_checkpoint(runtime, last_boundary: int,
         seg = _segment_path(manifest_path, shard.shard_id)
         total += save_checkpoint(shard.detector, last_boundary, seg)
         segments.append(seg.name)
-    with open(manifest_path, "w") as fh:
-        fh.write(json.dumps(
-            _manifest_dict(runtime, last_boundary, segments)) + "\n")
+    _atomic_write_lines(manifest_path, [json.dumps(
+        _manifest_dict(runtime, last_boundary, segments)) + "\n"])
     return total
 
 
@@ -396,10 +434,12 @@ class ShardedCheckpointSubscriber:
     """Runtime subscriber persisting the whole shard set periodically.
 
     The sharded analogue of :class:`CheckpointSubscriber`: every
-    ``interval`` boundaries the manifest and all shard segments are
-    rewritten (manifest last, via replace, so a crash mid-write leaves a
-    consistent previous manifest pointing at previous-or-newer segments).
-    Attach to a :class:`~repro.runtime.Runtime` with ``subscribe``.
+    ``interval`` boundaries :func:`save_sharded_checkpoint` rewrites all
+    shard segments and then the manifest, each write atomic (temp file +
+    fsync + rename, manifest last), so a crash at any moment leaves a
+    consistent previous manifest pointing at previous-or-newer complete
+    segments.  Attach to a :class:`~repro.runtime.Runtime` with
+    ``subscribe``.
     """
 
     def __init__(self, path: PathLike, interval: int = 10):
@@ -418,19 +458,7 @@ class ShardedCheckpointSubscriber:
         self._since += 1
         if self._since < self.interval:
             return
-        runtime = self.runtime
-        segments: List[str] = []
-        for shard in runtime.shards:
-            seg = _segment_path(self.path, shard.shard_id)
-            seg_tmp = seg.with_suffix(seg.suffix + ".tmp")
-            save_checkpoint(shard.detector, t, seg_tmp)
-            seg_tmp.replace(seg)
-            segments.append(seg.name)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        with open(tmp, "w") as fh:
-            fh.write(json.dumps(
-                _manifest_dict(runtime, t, segments)) + "\n")
-        tmp.replace(self.path)
+        save_sharded_checkpoint(self.runtime, t, self.path)
         self.checkpoints_written += 1
         self._since = 0
 

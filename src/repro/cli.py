@@ -33,6 +33,7 @@ from .core.queries import QueryGroup
 from .core.sop import SOPDetector
 from .engine.config import DetectorConfig
 from .metrics.results import compare_outputs
+from .runtime.backends import ShardFailure
 from .streams.replay import (
     load_points_csv,
     load_results_jsonl,
@@ -118,13 +119,34 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--shards", type=int, default=1,
                      help="value-partition the stream across this many "
                           "detector shards (exact; default 1)")
-    det.add_argument("--backend", choices=("serial", "process"),
+    det.add_argument("--backend", choices=("serial", "process", "supervised"),
                      default="serial",
-                     help="where shard pipelines run: in-process (serial) "
-                          "or one worker process per shard")
+                     help="where shard pipelines run: in-process (serial), "
+                          "one worker process per shard (process, "
+                          "fail-fast), or supervised workers with crash "
+                          "detection, deadlines, and bounded retry")
     det.add_argument("--replication-radius", type=float, default=0.0,
                      help="border replication radius; 0 = auto (the "
                           "workload's largest query radius, always exact)")
+    det.add_argument("--on-shard-failure",
+                     choices=("fail", "retry", "drop-and-flag"),
+                     default="retry",
+                     help="supervised backend policy when a shard exhausts "
+                          "its attempts: fail fast, retry then fail, or "
+                          "drop the shard and mark the result PARTIAL")
+    det.add_argument("--max-shard-retries", type=int, default=2,
+                     help="relaunch budget per shard (supervised backend)")
+    det.add_argument("--shard-deadline", type=float, default=0.0,
+                     help="per-attempt wall-clock deadline in seconds for "
+                          "a shard worker; 0 = no deadline (supervised)")
+    det.add_argument("--validate-ingest", action="store_true",
+                     help="quarantine poison records (NaN/inf coordinates, "
+                          "seq/time regressions) to a counted side channel "
+                          "instead of corrupting window state")
+    det.add_argument("--fault-plan", default=None,
+                     help="deterministic chaos schedule: inline JSON or a "
+                          "path to a FaultPlan JSON file (testing/CI; see "
+                          "repro.testing.faults)")
 
     cmp_ = sub.add_parser("compare", help="diff two archived result files")
     cmp_.add_argument("--a", required=True)
@@ -203,11 +225,19 @@ def _cmd_detect(args) -> int:
         shards=args.shards,
         backend=args.backend,
         replication_radius=args.replication_radius,
+        on_shard_failure=args.on_shard_failure,
+        max_shard_retries=args.max_shard_retries,
+        shard_deadline=args.shard_deadline,
+        validate_ingest=args.validate_ingest,
+        fault_plan=args.fault_plan,
     )
-    # shards/backend apply to every algorithm; the remaining knobs are
-    # SOP-only and silently ignoring them would mislead
+    # shards/backend/supervision/ingest apply to every algorithm; the
+    # remaining knobs are SOP-only and silently ignoring them would mislead
     sop_only = config.replace(shards=1, backend="serial",
-                              replication_radius=0.0)
+                              replication_radius=0.0,
+                              on_shard_failure="retry",
+                              max_shard_retries=2, shard_deadline=0.0,
+                              validate_ingest=False, fault_plan=None)
     if args.algorithm != "sop" and sop_only != DetectorConfig():
         print(f"note: SOP tuning flags are ignored by {args.algorithm}")
     attr_sets = {q.attributes for q in queries}
@@ -226,7 +256,11 @@ def _cmd_detect(args) -> int:
                    if args.algorithm == "sop" else base)
         runtime = Runtime(QueryGroup(queries), factory=factory,
                           config=config)
-        result = runtime.run(points, until=args.until)
+        try:
+            result = runtime.run(points, until=args.until)
+        except ShardFailure as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
     print(result.summary())
     work = result.work
     print("work: " + ", ".join(
@@ -234,6 +268,13 @@ def _cmd_detect(args) -> int:
     if args.out:
         n = save_results_jsonl(result.outputs, args.out)
         print(f"archived {n} (query, boundary) outputs to {args.out}")
+    if result.partial:
+        lost = ",".join(str(s) for s in result.failed_shards)
+        print(f"warning: PARTIAL result -- shard(s) {lost} failed and "
+              "were dropped (on_shard_failure=drop-and-flag); outputs "
+              "above are a lower bound, not the exact answer",
+              file=sys.stderr)
+        return 1
     return 0
 
 

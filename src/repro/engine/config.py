@@ -14,7 +14,7 @@ it and fail loudly on mismatch at restore.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from ..core.point import DistanceMetric, available_metrics
 
@@ -51,13 +51,37 @@ class DetectorConfig:
     shards: int = 1
     #: shard execution backend: "serial" steps every shard in-process and
     #: boundary-synchronously; "process" runs one worker process per shard
+    #: (fail-fast); "supervised" adds per-shard crash detection, deadlines,
+    #: bounded retry, and the configurable degraded mode below
     backend: str = "serial"
     #: border-replication radius of the value partitioner; 0.0 means
     #: "auto": use the workload's r_max, the smallest exact choice
     replication_radius: float = 0.0
+    #: supervised backend policy when a shard exhausts its attempts:
+    #: "fail" (no retries, first loss raises), "retry" (bounded retries,
+    #: then raise), or "drop-and-flag" (degrade: the merged result is
+    #: loudly marked partial via ``RunResult.failed_shards``)
+    on_shard_failure: str = "retry"
+    #: relaunch budget per shard after the initial attempt (supervised)
+    max_shard_retries: int = 2
+    #: per-attempt wall-clock deadline in seconds; 0.0 = no deadline
+    shard_deadline: float = 0.0
+    #: base of the exponential retry backoff (seconds): attempt ``a``
+    #: waits ``retry_backoff * 2**a`` before relaunching
+    retry_backoff: float = 0.05
+    #: route ingest through :class:`~repro.streams.source.IngestGuard`:
+    #: poison records (NaN/inf coordinates, seq/time regressions, arity
+    #: mismatches) are quarantined to a counted side channel instead of
+    #: corrupting window state
+    validate_ingest: bool = False
+    #: deterministic chaos schedule (inline JSON or a path to a JSON
+    #: file, resolved by :meth:`repro.testing.faults.FaultPlan.resolve`);
+    #: None disables fault injection -- production default
+    fault_plan: Optional[str] = None
 
-    _BACKENDS = ("serial", "process")
+    _BACKENDS = ("serial", "process", "supervised")
     _REFRESH_STRATEGIES = ("auto", "per-point", "batched", "grid")
+    _FAILURE_POLICIES = ("fail", "retry", "drop-and-flag")
 
     def __post_init__(self):
         if (isinstance(self.metric, DistanceMetric)
@@ -82,6 +106,17 @@ class DetectorConfig:
                 f"{self._REFRESH_STRATEGIES}, "
                 f"got {self.refresh_strategy!r}"
             )
+        if self.on_shard_failure not in self._FAILURE_POLICIES:
+            raise ValueError(
+                f"on_shard_failure must be one of {self._FAILURE_POLICIES}, "
+                f"got {self.on_shard_failure!r}"
+            )
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be >= 0")
+        if self.shard_deadline < 0:
+            raise ValueError("shard_deadline must be >= 0 (0 = no deadline)")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
 
     def resolved_refresh_strategy(self) -> str:
         """The effective refresh strategy ("per-point"/"batched"/"grid").

@@ -21,7 +21,14 @@ OutputKey = Tuple[int, int]
 
 @dataclass
 class RunResult:
-    """Everything a detector run produced."""
+    """Everything a detector run produced.
+
+    ``failed_shards`` is the loud partial-result marker: a sharded run
+    that lost shards under the supervised backend's ``drop-and-flag``
+    policy lists them here (and every merge propagates the union), so a
+    degraded answer can never be confused with an exact one --
+    :attr:`partial` is True and :meth:`summary` leads with the damage.
+    """
 
     detector: str
     #: (query_idx, boundary) -> outlier seqs reported at that boundary
@@ -31,8 +38,15 @@ class RunResult:
     boundaries: int = 0
     #: substrate-independent work counters (e.g. ``distance_rows``)
     work: Dict[str, int] = field(default_factory=dict)
+    #: shards dropped by a degraded run; empty for every exact result
+    failed_shards: Tuple[int, ...] = ()
 
     # ------------------------------------------------------------ summaries
+
+    @property
+    def partial(self) -> bool:
+        """True iff this result is missing failed shards' contributions."""
+        return bool(self.failed_shards)
 
     @property
     def cpu_ms_per_window(self) -> float:
@@ -62,8 +76,12 @@ class RunResult:
         }
 
     def summary(self) -> str:
+        flag = ""
+        if self.failed_shards:
+            lost = ",".join(str(s) for s in self.failed_shards)
+            flag = f"PARTIAL (shard(s) {lost} failed) "
         return (
-            f"{self.detector}: {self.boundaries} boundaries, "
+            f"{self.detector}: {flag}{self.boundaries} boundaries, "
             f"cpu={self.cpu_ms_per_window:.3f} ms/window "
             f"(total {self.cpu_total_s:.3f}s), "
             f"mem peak={self.peak_memory_units} units "

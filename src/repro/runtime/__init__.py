@@ -12,15 +12,22 @@ Public surface:
 * :class:`~repro.runtime.merger.Merger` -- ownership-filtered exact
   union of outputs plus additive meter/counter merges.
 * Backends -- :class:`~repro.runtime.backends.SerialBackend` (default,
-  steppable) and :class:`~repro.runtime.backends.ProcessPoolBackend`
-  (one worker process per shard), resolved by
-  :func:`~repro.runtime.backends.make_backend`.
+  steppable), :class:`~repro.runtime.backends.ProcessPoolBackend` (one
+  worker process per shard, fail-fast), and
+  :class:`~repro.runtime.backends.SupervisedProcessBackend` (per-shard
+  crash detection, deadlines, bounded retry, configurable degraded
+  mode), resolved by :func:`~repro.runtime.backends.make_backend`.
+  :class:`~repro.runtime.backends.ShardFailure` is the loud permanent-
+  failure exception, naming the dead shard.
 """
 
 from .backends import (
     Backend,
     ProcessPoolBackend,
     SerialBackend,
+    ShardFailure,
+    SupervisedProcessBackend,
+    failed_shard_result,
     make_backend,
     run_shard_task,
 )
@@ -37,6 +44,9 @@ __all__ = [
     "Backend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SupervisedProcessBackend",
+    "ShardFailure",
+    "failed_shard_result",
     "make_backend",
     "run_shard_task",
 ]

@@ -60,7 +60,14 @@ class Merger:
     # ------------------------------------------------------------- results
 
     def merge_results(self, results: Sequence[RunResult]) -> RunResult:
-        """Combine finished per-shard results into the workload answer."""
+        """Combine finished per-shard results into the workload answer.
+
+        Failed-shard flags propagate as a union: if any input is a
+        degraded placeholder (``failed_shards`` non-empty, see
+        ``repro.runtime.backends.failed_shard_result``), the merged
+        result is loudly partial too -- the flag can only spread, never
+        silently disappear, across merges.
+        """
         if not results:
             raise ValueError("merge_results needs at least one shard result")
         owners = self.owners
@@ -74,12 +81,17 @@ class Merger:
                         bucket.add(seq)
         for key, seqs in acc.items():
             outputs[key] = frozenset(seqs)
+        failed = sorted({s for r in results for s in r.failed_shards})
+        # a failed placeholder has no detector name; take the first real one
+        detector = next((r.detector for r in results if r.detector),
+                        results[0].detector)
         merged = RunResult(
-            detector=results[0].detector,
+            detector=detector,
             outputs=outputs,
             cpu=CpuMeter.merge([r.cpu for r in results]),
             memory=MemoryMeter.merge([r.memory for r in results]),
             boundaries=max(r.boundaries for r in results),
             work=merge_work([r.work for r in results]),
+            failed_shards=tuple(failed),
         )
         return merged

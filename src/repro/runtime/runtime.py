@@ -43,7 +43,8 @@ from ..core.queries import QueryGroup
 from ..core.sop import SOPDetector
 from ..engine.config import DetectorConfig
 from ..metrics.results import RunResult, merge_work
-from ..streams.source import batches_by_boundary, stream_end_boundary
+from ..streams.source import (IngestGuard, batches_by_boundary,
+                              stream_end_boundary)
 from .backends import Backend, make_backend
 from .merger import Merger
 from .partitioner import StreamPartitioner
@@ -97,7 +98,9 @@ class Runtime:
         self.config = config
         self.n_shards = config.shards
         self.backend: Backend = (backend if isinstance(backend, Backend)
-                                 else make_backend(config.backend))
+                                 else make_backend(config.backend,
+                                                   config=config))
+        self.guard = IngestGuard() if config.validate_ingest else None
         self.factory = (factory if factory is not None
                         else partial(SOPDetector, config=config))
         radius = config.replication_radius or group.r_max
@@ -171,6 +174,17 @@ class Runtime:
                 f"the {self.backend.name!r} backend cannot be stepped; "
                 "use run() on a finite stream or the serial backend"
             )
+        if self.guard is not None:
+            batch = self.guard.filter(batch)
+        return self._step_clean(t, batch)
+
+    def _step_clean(self, t: int, batch: Sequence[Point]) -> Outputs:
+        """The :meth:`step` body after ingest validation.
+
+        ``run``/``resume`` filter the whole stream up front (the guard is
+        stateful -- re-filtering admitted points would quarantine them as
+        regressions), so their loops enter here directly.
+        """
         self.partitioner.ensure_bounds(batch)
         shard_batches, owners = self.partitioner.split(batch)
         self._owners.update(owners)
@@ -191,9 +205,23 @@ class Runtime:
 
     def _finalize(self, results: Sequence[RunResult]) -> RunResult:
         self.result = self._merger.merge_results(results)
+        self._note_quarantine(self.result)
         for sub in self.subscribers:
             sub.on_stream_end(self.result)
         return self.result
+
+    def _note_quarantine(self, result: RunResult) -> None:
+        """Surface the ingest guard's quarantine counts in the merged
+        work counters (additive keys, like every other counter)."""
+        if self.guard is None:
+            return
+        work = result.work
+        work["records_quarantined"] = (
+            work.get("records_quarantined", 0)
+            + self.guard.total_quarantined)
+        for reason, n in self.guard.counts.items():
+            key = "quarantined_" + reason.replace("-", "_")
+            work[key] = work.get(key, 0) + n
 
     # ------------------------------------------------------------- running
 
@@ -208,13 +236,15 @@ class Runtime:
         """
         points = points if isinstance(points, (list, tuple)) \
             else list(points)
+        if self.guard is not None:
+            points = self.guard.filter(points)
         slide, kind = self.swift.slide, self.group.kind
         if until is None:
             until = stream_end_boundary(points, slide, kind)
         self.partitioner.ensure_bounds(points)
         if self.backend.supports_stepping:
             for t, batch in batches_by_boundary(points, slide, kind, until):
-                self.step(t, batch)
+                self._step_clean(t, batch)
             return self.finish()
         # whole-stream backend: one task per shard, notifications replayed
         shard_points, owners = self.partitioner.split(points)
@@ -237,6 +267,7 @@ class Runtime:
         """
         merged_outputs: Dict[int, Outputs] = {}
         self.result = self._merger.merge_results(results)
+        self._note_quarantine(self.result)
         for (qi, t), seqs in self.result.outputs.items():
             merged_outputs.setdefault(t, {})[qi] = seqs
         t = slide
@@ -276,6 +307,65 @@ class Runtime:
                     self.partitioner.shard_of(p.values)
                     if self.partitioner.initialized else 0
                 )
+
+    def resume(self, points: Sequence[Point],
+               until: Optional[int] = None) -> RunResult:
+        """Continue a checkpoint-restored runtime over the rest of a
+        finite stream.
+
+        ``points`` may be the *full* original stream: everything
+        positioned before ``last_boundary`` is already either inside the
+        restored shard windows or legitimately expired, so batching
+        skips it and the first boundary processed is
+        ``last_boundary + slide``.  The returned result covers exactly
+        the resumed boundaries; unioned with the pre-crash outputs it is
+        bit-identical to an uninterrupted run (DESIGN.md §11).
+        """
+        if not self.backend.supports_stepping:
+            raise RuntimeError(
+                f"the {self.backend.name!r} backend cannot resume; "
+                "restored shards are live executors and must be stepped "
+                "(serial backend)"
+            )
+        points = points if isinstance(points, (list, tuple)) \
+            else list(points)
+        if self.guard is not None:
+            points = self.guard.filter(points)
+        slide, kind = self.swift.slide, self.group.kind
+        start = int(self.last_boundary)
+        if until is None:
+            until = max(stream_end_boundary(points, slide, kind), start)
+        self.partitioner.ensure_bounds(points)
+        for t, batch in batches_by_boundary(points, slide, kind, until,
+                                            start=start):
+            self._step_clean(t, batch)
+        return self.finish()
+
+    @classmethod
+    def resume_from_checkpoint(
+        cls, path, points: Sequence[Point], *,
+        factory=None, until: Optional[int] = None,
+        subscribers: Sequence = (), allow_config_mismatch: bool = False,
+    ):
+        """Restore a sharded checkpoint and drive the stream to its end.
+
+        The crash-recovery entrypoint: every shard restarts from its last
+        persisted segment (only the window points -- evidence rebuilds on
+        the first boundary, identically, see DESIGN.md §11) and the
+        stream resumes at the manifest's boundary.  Returns
+        ``(runtime, result)`` where ``result`` holds the merged outputs
+        of the resumed boundaries only.
+        """
+        from ..checkpoint import load_sharded_checkpoint
+
+        runtime, _ = load_sharded_checkpoint(
+            path, factory=factory, backend="serial",
+            allow_config_mismatch=allow_config_mismatch,
+        )
+        for sub in subscribers:
+            runtime.subscribe(sub)
+        result = runtime.resume(points, until=until)
+        return runtime, result
 
     # -------------------------------------------------------------- stats
 

@@ -1,7 +1,8 @@
 """Stream substrates: windows, buffers, sources, and data generators."""
 
 from .buffer import WindowBuffer
-from .source import ListSource, StreamSource, batches_by_boundary
+from .source import (IngestGuard, ListSource, StreamSource,
+                     batches_by_boundary)
 from .stock import StockTradeSimulator, TradeRecord, make_stock_points
 from .synthetic import SyntheticConfig, SyntheticStream, make_synthetic_points
 from .windows import COUNT, TIME, SwiftSchedule, WindowSpec, gcd_all
@@ -9,6 +10,7 @@ from .windows import COUNT, TIME, SwiftSchedule, WindowSpec, gcd_all
 __all__ = [
     "COUNT",
     "TIME",
+    "IngestGuard",
     "ListSource",
     "StockTradeSimulator",
     "StreamSource",

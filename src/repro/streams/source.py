@@ -5,11 +5,23 @@ points whose stream position falls in ``[t - slide, t)`` are delivered
 together, then the detector processes boundary ``t``.  This mirrors the
 paper's execution model ("the K-SKY algorithm is called after we receive a
 batch of new points based on the slide size", Sec. 3.1.2).
+
+:class:`IngestGuard` sits in front of that batching for untrusted
+streams: real feeds carry poison records (NaN/inf coordinates, sequence
+or timestamp regressions, wrong arity, plain garbage) and a single one
+reaching the window buffer corrupts every later verdict -- or, worse,
+raises deep inside a worker and takes the shard down.  The guard
+validates records *before* they become :class:`~repro.core.point.Point`
+instances, quarantines offenders to a counted side channel, and admits
+only the clean monotone subsequence, so detector state is exactly what a
+clean stream would have produced.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+import math
+from typing import (Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from ..core.point import Point
 from .windows import COUNT, TIME
@@ -17,6 +29,7 @@ from .windows import COUNT, TIME
 __all__ = [
     "StreamSource",
     "ListSource",
+    "IngestGuard",
     "batches_by_boundary",
     "positions",
     "stream_end_boundary",
@@ -65,6 +78,119 @@ class ListSource(StreamSource):
         return len(self._points)
 
 
+class IngestGuard:
+    """Record validation with a counted quarantine side channel.
+
+    ``admit`` accepts a record in any of the shapes streams arrive in --
+    a :class:`~repro.core.point.Point`, a ``(seq, values)`` /
+    ``(seq, values, time)`` tuple, or a mapping with ``seq`` / ``values``
+    / optional ``time`` keys -- and returns the validated ``Point`` or
+    ``None`` after quarantining it.  Rejection reasons:
+
+    * ``non-finite`` -- any NaN/inf coordinate (distances undefined);
+    * ``seq-regression`` -- ``seq`` not strictly greater than the last
+      admitted record's (count windows index by ``seq``; a regression
+      silently corrupts expiry);
+    * ``time-regression`` -- ``time`` earlier than the last admitted
+      record's (time windows require non-decreasing stamps;
+      ``batches_by_boundary`` would refuse the whole stream);
+    * ``dim-mismatch`` -- arity differs from the stream's (first admitted
+      record, or an explicit ``expect_dim``);
+    * ``malformed`` -- missing fields / unconvertible garbage.
+
+    Validation state (last seq/time, learned dimensionality) persists
+    across ``filter`` calls, so the guard works record-at-a-time on
+    infinite streams.  Quarantined records are *counted and kept*
+    (``quarantined``, ``counts``), never silently dropped: the runtime
+    surfaces the totals in its merged work counters.
+    """
+
+    def __init__(self, expect_dim: Optional[int] = None):
+        if expect_dim is not None and expect_dim < 1:
+            raise ValueError("expect_dim must be >= 1")
+        self.expect_dim = expect_dim
+        #: (original record, reason) for every rejected record, in order
+        self.quarantined: List[Tuple[object, str]] = []
+        #: rejection reason -> count
+        self.counts: Dict[str, int] = {}
+        self._last_seq: Optional[int] = None
+        self._last_time: Optional[float] = None
+
+    @property
+    def total_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    # ------------------------------------------------------------ plumbing
+
+    def _reject(self, record, reason: str) -> None:
+        self.quarantined.append((record, reason))
+        self.counts[reason] = self.counts.get(reason, 0) + 1
+        return None
+
+    @staticmethod
+    def _fields_of(record):
+        """``(seq, time_or_None, values_tuple)`` or None if unparseable."""
+        try:
+            if isinstance(record, Point):
+                return int(record.seq), float(record.time), record.values
+            if isinstance(record, Mapping):
+                seq = int(record["seq"])
+                time = (float(record["time"])
+                        if record.get("time") is not None else None)
+                values = tuple(float(v) for v in record["values"])
+                return seq, time, values
+            if isinstance(record, (tuple, list)) and len(record) in (2, 3):
+                seq = int(record[0])
+                values = tuple(float(v) for v in record[1])
+                time = float(record[2]) if len(record) == 3 else None
+                return seq, time, values
+        except (KeyError, TypeError, ValueError):
+            return None
+        return None
+
+    # ------------------------------------------------------------- guard
+
+    def admit(self, record) -> Optional[Point]:
+        """Validate one record; the Point, or None (quarantined)."""
+        parsed = self._fields_of(record)
+        if parsed is None:
+            return self._reject(record, "malformed")
+        seq, time, values = parsed
+        if not values:
+            return self._reject(record, "malformed")
+        if any(not math.isfinite(v) for v in values):
+            return self._reject(record, "non-finite")
+        if time is not None and not math.isfinite(time):
+            return self._reject(record, "non-finite")
+        if self.expect_dim is not None and len(values) != self.expect_dim:
+            return self._reject(record, "dim-mismatch")
+        if self._last_seq is not None and seq <= self._last_seq:
+            return self._reject(record, "seq-regression")
+        effective_time = time if time is not None else float(seq)
+        if self._last_time is not None and effective_time < self._last_time:
+            return self._reject(record, "time-regression")
+        point = record if isinstance(record, Point) else Point(
+            seq=seq, time=time, values=values)
+        if self.expect_dim is None:
+            self.expect_dim = len(values)
+        self._last_seq = seq
+        self._last_time = effective_time
+        return point
+
+    def filter(self, records: Iterable) -> List[Point]:
+        """Admit a record sequence; the clean, in-order Point list."""
+        out: List[Point] = []
+        for record in records:
+            point = self.admit(record)
+            if point is not None:
+                out.append(point)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"IngestGuard(quarantined={self.total_quarantined}, "
+                f"counts={self.counts})")
+
+
 def stream_end_boundary(points: Sequence[Point], slide: int,
                         kind: str) -> int:
     """Default ``until``: the first boundary strictly past the last point.
@@ -83,20 +209,32 @@ def stream_end_boundary(points: Sequence[Point], slide: int,
 
 
 def batches_by_boundary(
-    points: Sequence[Point], slide: int, kind: str, until: int = None
+    points: Sequence[Point], slide: int, kind: str, until: int = None,
+    start: int = 0,
 ) -> Iterator[Tuple[int, List[Point]]]:
     """Group a finite stream into per-boundary batches.
 
-    Yields ``(t, batch)`` for each boundary ``t = slide, 2*slide, ...`` where
-    ``batch`` holds the points with position in ``[t - slide, t)``.  The
-    iteration stops at ``until`` if given, else at the last boundary that is
-    <= the final point's position + slide (so every point is delivered).
+    Yields ``(t, batch)`` for each boundary ``t = start + slide,
+    start + 2*slide, ...`` where ``batch`` holds the points with position
+    in ``[t - slide, t)``.  The iteration stops at ``until`` if given,
+    else at the last boundary that is <= the final point's position +
+    slide (so every point is delivered).
+
+    ``start`` (default 0, must be a boundary, i.e. a multiple of
+    ``slide``) resumes batching mid-stream: points positioned before
+    ``start`` are skipped -- a checkpoint-restored runtime already holds
+    them in its window -- and the first batch delivered is
+    ``[start, start + slide)``.
 
     Points must be position-sorted (guaranteed for ``seq``; validated for
     ``time``).
     """
     if slide <= 0:
         raise ValueError("slide must be positive")
+    if start < 0 or start % slide != 0:
+        raise ValueError(
+            f"start must be a non-negative multiple of slide, got "
+            f"start={start} slide={slide}")
     pos = positions(points, kind)
     for earlier, later in zip(pos, pos[1:]):
         if later < earlier:
@@ -106,8 +244,10 @@ def batches_by_boundary(
             return
         until = stream_end_boundary(points, slide, kind)
     i = 0
-    t = slide
     n = len(points)
+    while i < n and pos[i] < start:
+        i += 1
+    t = start + slide
     while t <= until:
         batch: List[Point] = []
         while i < n and pos[i] < t:

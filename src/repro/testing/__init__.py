@@ -1,0 +1,25 @@
+"""Correctness tooling: deterministic fault injection for chaos tests.
+
+``repro.testing`` is shipped with the package (not hidden in the test
+tree) so the exact same chaos scenarios run in unit tests, benchmarks,
+and CI: a :class:`~repro.testing.faults.FaultPlan` is a seeded, JSON-
+serializable schedule of worker crashes, shard delays, and torn
+checkpoint files that the supervised backend and the test harness both
+consume.
+"""
+
+from .faults import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    tear_file,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "tear_file",
+]

@@ -1,0 +1,255 @@
+"""Deterministic fault injection: the chaos-test harness.
+
+A fault-tolerant runtime is only trustworthy if every failure mode it
+claims to survive can be *produced on demand*, identically, on every
+machine and every run.  This module is that switchboard:
+
+* :class:`Fault` -- one scheduled failure: crash shard ``N`` at boundary
+  ``B`` (by exception or by hard ``os._exit``), delay a shard past its
+  deadline, or truncate a checkpoint file to a byte count (a torn write).
+* :class:`FaultPlan` -- an ordered, JSON-serializable collection of
+  faults.  Plans round-trip through ``to_json``/``from_json`` and resolve
+  from inline JSON strings or file paths, so the same scenario runs in a
+  unit test, a benchmark, the CLI (``detect --fault-plan``), and CI.
+* :class:`FaultInjector` -- an
+  :class:`~repro.engine.executor.ExecutorSubscriber` that fires the plan's
+  crash/delay faults at boundary ends.  The supervised backend installs
+  one inside each worker; serial tests attach one to a shard's executor.
+* :func:`tear_file` -- truncate a file in place (the torn-checkpoint
+  primitive the atomicity regression tests use).
+
+Determinism contract
+--------------------
+
+A fault fires iff its ``(shard, boundary)`` matches and the current
+*attempt* number is below ``times``.  Workers receive their attempt
+number from the supervisor, so "crash once, then succeed on retry" is
+expressed as ``times=1`` -- no randomness, no clocks, no cross-process
+state.  ``seed`` is carried for plans that want to derive randomized
+scenarios up front (generation-time randomness, never fire-time).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..engine.executor import ExecutorSubscriber
+
+__all__ = ["Fault", "FaultPlan", "FaultInjector", "InjectedCrash", "tear_file"]
+
+#: fault kinds understood by the harness
+_KINDS = ("crash", "delay", "truncate")
+#: how a crash manifests: "raise" (exception captured and reported by the
+#: worker) or "exit" (hard ``os._exit`` -- only the exitcode survives)
+_CRASH_MODES = ("raise", "exit")
+
+
+class InjectedCrash(RuntimeError):
+    """The exception an injected ``crash`` fault raises (``mode="raise"``)."""
+
+    def __init__(self, shard: int, boundary: int, attempt: int):
+        self.shard = shard
+        self.boundary = boundary
+        self.attempt = attempt
+        super().__init__(
+            f"injected crash: shard {shard} at boundary {boundary} "
+            f"(attempt {attempt})"
+        )
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled failure.
+
+    ``times`` bounds how many *attempts* the fault fires on: a worker
+    retried after a ``times=1`` crash runs clean.  ``mode`` selects the
+    crash mechanism; ``seconds`` is the ``delay`` duration; ``path`` /
+    ``keep_bytes`` target a ``truncate`` fault.
+    """
+
+    kind: str
+    shard: int = -1
+    boundary: int = 0
+    times: int = 1
+    mode: str = "raise"
+    seconds: float = 0.0
+    path: str = ""
+    keep_bytes: int = 0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"fault kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        if self.mode not in _CRASH_MODES:
+            raise ValueError(f"crash mode must be one of {_CRASH_MODES}, "
+                             f"got {self.mode!r}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        if self.kind == "truncate" and not self.path:
+            raise ValueError("a truncate fault needs a target path")
+
+    def fires(self, shard: int, boundary: int, attempt: int) -> bool:
+        """True iff this fault hits ``shard`` at ``boundary`` on ``attempt``."""
+        return (self.kind in ("crash", "delay")
+                and self.shard == shard
+                and self.boundary == boundary
+                and attempt < self.times)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable schedule of faults (the chaos scenario).
+
+    Plans are inert data: nothing fires until a :class:`FaultInjector`
+    (crash/delay) or :meth:`apply_truncations` (truncate) executes them.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    # ------------------------------------------------------------- queries
+
+    def for_shard(self, shard: int) -> Tuple[Fault, ...]:
+        """The crash/delay faults targeting one shard (any attempt)."""
+        return tuple(f for f in self.faults
+                     if f.kind in ("crash", "delay") and f.shard == shard)
+
+    def due(self, shard: int, boundary: int, attempt: int) -> Tuple[Fault, ...]:
+        """The faults that fire for this (shard, boundary, attempt)."""
+        return tuple(f for f in self.faults
+                     if f.fires(shard, boundary, attempt))
+
+    def truncations(self) -> Tuple[Fault, ...]:
+        return tuple(f for f in self.faults if f.kind == "truncate")
+
+    def apply_truncations(self, root: Optional[Union[str, Path]] = None
+                          ) -> List[Path]:
+        """Execute the plan's torn-write faults; returns the torn paths.
+
+        ``root`` resolves relative fault paths (defaults to the CWD).
+        """
+        torn: List[Path] = []
+        base = Path(root) if root is not None else Path(".")
+        for f in self.truncations():
+            target = Path(f.path)
+            if not target.is_absolute():
+                target = base / target
+            tear_file(target, f.keep_bytes)
+            torn.append(target)
+        return torn
+
+    # ------------------------------------------------------- serialization
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed,
+                "faults": [f.as_dict() for f in self.faults]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict())
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        known = {f.name for f in fields(Fault)}
+        faults = []
+        for entry in data.get("faults", ()):
+            unknown = set(entry) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown fault field(s): {sorted(unknown)}")
+            faults.append(Fault(**entry))
+        return cls(faults=tuple(faults), seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed fault plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def resolve(cls, spec) -> Optional["FaultPlan"]:
+        """Coerce a config-level spec into a plan.
+
+        ``None`` stays ``None``; a plan passes through; a dict is parsed;
+        a string is inline JSON when it starts with ``{``, else a path to
+        a JSON file.  This is the hook ``DetectorConfig.fault_plan`` and
+        the CLI's ``--fault-plan`` share.
+        """
+        if spec is None or isinstance(spec, cls):
+            return spec
+        if isinstance(spec, dict):
+            return cls.from_dict(spec)
+        if isinstance(spec, str):
+            text = spec.strip()
+            if text.startswith("{"):
+                return cls.from_json(text)
+            path = Path(spec)
+            if not path.exists():
+                raise ValueError(
+                    f"fault plan {spec!r} is neither inline JSON nor an "
+                    "existing file")
+            return cls.from_json(path.read_text())
+        raise TypeError(f"cannot resolve a fault plan from {type(spec)!r}")
+
+
+class FaultInjector(ExecutorSubscriber):
+    """Executor subscriber that fires a plan's crash/delay faults.
+
+    Fires on ``on_boundary_end`` -- the boundary's stages committed, the
+    crash hits before the *next* boundary (exactly where a real worker
+    loss lands).  ``mode="exit"`` calls ``os._exit`` and must only run
+    inside a sacrificial worker process; serial in-process tests use the
+    default ``mode="raise"`` (:class:`InjectedCrash` propagates).
+
+    ``delays_applied`` / ``crashes_fired`` are observability counters the
+    chaos tests assert against.
+    """
+
+    def __init__(self, plan: FaultPlan, shard_id: int, attempt: int = 0):
+        self.plan = plan
+        self.shard_id = shard_id
+        self.attempt = attempt
+        self.delays_applied = 0
+        self.crashes_fired = 0
+
+    def on_boundary_end(self, t, outputs) -> None:
+        for fault in self.plan.due(self.shard_id, t, self.attempt):
+            if fault.kind == "delay":
+                self.delays_applied += 1
+                time.sleep(fault.seconds)
+            elif fault.kind == "crash":
+                self.crashes_fired += 1
+                if fault.mode == "exit":
+                    os._exit(66)
+                raise InjectedCrash(self.shard_id, t, self.attempt)
+
+
+def tear_file(path: Union[str, Path], keep_bytes: int) -> Path:
+    """Truncate ``path`` to its first ``keep_bytes`` bytes (a torn write).
+
+    The deterministic primitive behind ``truncate`` faults and the
+    checkpoint-atomicity regression tests: what a crash mid-``write``
+    leaves behind when the writer is *not* using temp-file + rename.
+    """
+    path = Path(path)
+    if keep_bytes < 0:
+        raise ValueError("keep_bytes must be >= 0")
+    size = path.stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(min(keep_bytes, size))
+    return path

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
 
@@ -58,3 +61,37 @@ def small_group():
 @pytest.fixture
 def rng():
     return np.random.default_rng(20160626)  # SIGMOD'16 opening day
+
+
+# ---------------------------------------------------------------------------
+# chaos-suite outcome report (CI artifact)
+# ---------------------------------------------------------------------------
+
+#: records appended by the ``chaos_report`` fixture, one per scenario
+_CHAOS_RECORDS: list = []
+
+
+@pytest.fixture
+def chaos_report(request):
+    """Record a chaos scenario's fault plan + outcome for the CI artifact.
+
+    Tests call ``chaos_report(test=..., plan=plan.as_dict(), ...)``; when
+    the ``CHAOS_REPORT`` environment variable names a path, the session
+    hook below writes every record there as JSON.
+    """
+    def record(**entry):
+        entry.setdefault("nodeid", request.node.nodeid)
+        _CHAOS_RECORDS.append(entry)
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    target = os.environ.get("CHAOS_REPORT")
+    if not target:
+        return
+    with open(target, "w") as fh:
+        json.dump({
+            "exitstatus": int(exitstatus),
+            "scenarios": _CHAOS_RECORDS,
+        }, fh, indent=2, default=str)
+        fh.write("\n")

@@ -1,0 +1,248 @@
+"""Chaos matrix for the supervised backend.
+
+Every failure mode the supervised runner claims to survive is produced
+on demand with a deterministic :class:`~repro.testing.FaultPlan` and
+asserted against the fault-free serial answer:
+
+* crash by exception (captured + retried) and by hard ``os._exit``
+  (exitcode-detected) -- both bit-identical to serial after retry;
+* a stuck worker past its deadline is killed and retried;
+* exhausted retries raise a :class:`~repro.runtime.ShardFailure` that
+  names the dead shard;
+* ``drop-and-flag`` degrades loudly: the merged result is PARTIAL,
+  never passed off as exact;
+* the single-task path (``process`` backend, 1 shard) runs under the
+  same supervision as the N-shard case;
+* the CLI surfaces all of it with distinct exit codes.
+"""
+
+import pytest
+
+from repro import (
+    DetectorConfig,
+    Fault,
+    FaultPlan,
+    OutlierQuery,
+    ProcessPoolBackend,
+    QueryGroup,
+    Runtime,
+    ShardFailure,
+    SupervisedProcessBackend,
+    WindowSpec,
+    compare_outputs,
+    make_synthetic_points,
+)
+
+pytestmark = pytest.mark.chaos
+
+N_SHARDS = 4
+#: boundaries land at 40, 80, ..., 640 (slide 40, 600 points)
+CRASH_T = 320
+
+
+def group():
+    return QueryGroup([
+        OutlierQuery(r=300, k=4, window=WindowSpec(win=200, slide=40)),
+        OutlierQuery(r=700, k=6, window=WindowSpec(win=160, slide=40)),
+    ])
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_synthetic_points(600, seed=5)
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    """The fault-free serial answer every chaos run must reproduce."""
+    return Runtime(group(), config=DetectorConfig(shards=N_SHARDS)).run(stream)
+
+
+def run_supervised(stream, plan, **knobs):
+    backend = SupervisedProcessBackend(fault_plan=plan, **knobs)
+    runtime = Runtime(group(), config=DetectorConfig(shards=N_SHARDS),
+                      backend=backend)
+    return backend, runtime.run(stream)
+
+
+def outcomes(backend):
+    return [(e["shard"], e["attempt"], e["outcome"]) for e in backend.report]
+
+
+class TestRetryRecovers:
+    def test_exception_crash_retried_bitexact(self, stream, reference,
+                                              chaos_report):
+        plan = FaultPlan((Fault("crash", shard=1, boundary=CRASH_T),))
+        backend, result = run_supervised(stream, plan, on_failure="retry",
+                                         max_retries=2, backoff=0.01)
+        assert not compare_outputs(reference.outputs, result.outputs)
+        assert not result.partial
+        log = outcomes(backend)
+        assert (1, 0, "error") in log and (1, 1, "ok") in log
+        assert all(o == "ok" for s, a, o in log if s != 1)
+        chaos_report(test="exception_crash_retried", plan=plan.as_dict(),
+                     report=backend.report, exact=True)
+
+    def test_hard_exit_crash_detected_and_retried(self, stream, reference,
+                                                  chaos_report):
+        """``os._exit`` leaves no exception to report; the supervisor
+        must detect the loss from the exitcode alone."""
+        plan = FaultPlan((Fault("crash", shard=0, boundary=CRASH_T,
+                                mode="exit"),))
+        backend, result = run_supervised(stream, plan, on_failure="retry",
+                                         max_retries=1, backoff=0.01)
+        assert not compare_outputs(reference.outputs, result.outputs)
+        log = outcomes(backend)
+        assert (0, 0, "crash") in log and (0, 1, "ok") in log
+        crash = next(e for e in backend.report if e["outcome"] == "crash")
+        assert "66" in crash["detail"]  # the injected exitcode, named
+        chaos_report(test="hard_exit_crash_retried", plan=plan.as_dict(),
+                     report=backend.report, exact=True)
+
+    def test_deadline_timeout_then_retry_success(self, stream, reference,
+                                                 chaos_report):
+        """A worker stalled past its deadline is killed; the retry (the
+        fault fires only on attempt 0) completes and the answer is exact."""
+        plan = FaultPlan((Fault("delay", shard=2, boundary=40,
+                                seconds=5.0),))
+        backend, result = run_supervised(stream, plan, on_failure="retry",
+                                         max_retries=1, deadline=0.5,
+                                         backoff=0.01)
+        assert not compare_outputs(reference.outputs, result.outputs)
+        log = outcomes(backend)
+        assert (2, 0, "timeout") in log and (2, 1, "ok") in log
+        chaos_report(test="deadline_timeout_retried", plan=plan.as_dict(),
+                     report=backend.report, exact=True)
+
+
+class TestPermanentFailure:
+    def test_retry_exhaustion_raises_naming_shard(self, stream, chaos_report):
+        plan = FaultPlan((Fault("crash", shard=2, boundary=CRASH_T,
+                                times=99),))
+        with pytest.raises(ShardFailure, match=r"shard 2 failed permanently "
+                                               r"after 2 attempt\(s\)") as exc:
+            run_supervised(stream, plan, on_failure="retry", max_retries=1,
+                           backoff=0.01)
+        assert exc.value.shard_id == 2
+        assert "InjectedCrash" in exc.value.cause
+        chaos_report(test="retry_exhaustion", plan=plan.as_dict(),
+                     raised=str(exc.value))
+
+    def test_fail_policy_skips_retry(self, stream):
+        plan = FaultPlan((Fault("crash", shard=3, boundary=CRASH_T),))
+        with pytest.raises(ShardFailure, match="shard 3") as exc:
+            # max_retries is ignored under "fail": first loss is final
+            run_supervised(stream, plan, on_failure="fail", max_retries=5)
+        assert exc.value.attempts == 1
+
+
+class TestDropAndFlag:
+    def test_partial_result_loudly_marked(self, stream, reference,
+                                          chaos_report):
+        plan = FaultPlan((Fault("crash", shard=1, boundary=CRASH_T,
+                                times=99),))
+        backend, result = run_supervised(stream, plan,
+                                         on_failure="drop-and-flag",
+                                         max_retries=1, backoff=0.01)
+        assert result.partial
+        assert result.failed_shards == (1,)
+        assert "PARTIAL" in result.summary() and "1" in result.summary()
+        assert result.work.get("shard_failures") == 1
+        # the surviving shards' outputs are a subset of the exact answer:
+        # degraded, never wrong
+        for key, seqs in result.outputs.items():
+            assert seqs <= reference.outputs.get(key, frozenset())
+        chaos_report(test="drop_and_flag", plan=plan.as_dict(),
+                     report=backend.report,
+                     failed_shards=list(result.failed_shards))
+
+    def test_exact_result_is_not_marked(self, stream, reference):
+        backend, result = run_supervised(stream, None,
+                                         on_failure="drop-and-flag")
+        assert not result.partial
+        assert "PARTIAL" not in result.summary()
+        assert not compare_outputs(reference.outputs, result.outputs)
+
+
+class TestSingleTaskSupervision:
+    def test_process_backend_is_supervised(self):
+        assert isinstance(ProcessPoolBackend(), SupervisedProcessBackend)
+
+    def test_single_shard_runs_under_supervision(self, stream):
+        """1 shard and N shards go through the identical supervised
+        runner: even the single-task fast path produces an attempt log."""
+        backend = ProcessPoolBackend()
+        result = Runtime(group(), config=DetectorConfig(shards=1),
+                         backend=backend).run(stream)
+        assert outcomes(backend) == [(0, 0, "ok")]
+        serial = Runtime(group(), config=DetectorConfig(shards=1)).run(stream)
+        assert not compare_outputs(serial.outputs, result.outputs)
+
+    def test_single_shard_crash_is_named(self, stream):
+        plan = FaultPlan((Fault("crash", shard=0, boundary=CRASH_T,
+                                mode="exit"),))
+        backend = SupervisedProcessBackend(on_failure="fail",
+                                           fault_plan=plan)
+        with pytest.raises(ShardFailure, match="shard 0"):
+            Runtime(group(), config=DetectorConfig(shards=1),
+                    backend=backend).run(stream)
+
+
+class TestCli:
+    @pytest.fixture
+    def paths(self, tmp_path):
+        from repro import load_workload
+        from repro.cli import main
+        stream = tmp_path / "stream.csv"
+        wl = tmp_path / "wl.json"
+        assert main(["generate", "synthetic", "--n", "400", "--seed", "5",
+                     "--out", str(stream)]) == 0
+        assert main(["workload", "--spec", "C", "--n", "3", "--seed", "9",
+                     "--out", str(wl)]) == 0
+        slide = QueryGroup(load_workload(wl)).swift.slide
+        return stream, wl, slide
+
+    def base_argv(self, paths):
+        stream, wl, _ = paths
+        return ["detect", "--stream", str(stream), "--workload", str(wl),
+                "--shards", "2", "--backend", "supervised",
+                "--max-shard-retries", "0"]
+
+    def crash_plan(self, paths):
+        # the workload's first boundary is its swift (gcd) slide; a fault
+        # pinned there fires on every attempt (times=99), so retries can
+        # never rescue the shard
+        _, _, slide = paths
+        return FaultPlan((Fault("crash", shard=1, boundary=slide,
+                                times=99),))
+
+    def test_fail_policy_exit_code_3(self, paths, capsys):
+        from repro.cli import main
+        rc = main(self.base_argv(paths) + [
+            "--on-shard-failure", "fail",
+            "--fault-plan", self.crash_plan(paths).to_json()])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "shard 1 failed permanently" in err
+
+    def test_drop_and_flag_exit_code_1(self, paths, capsys):
+        from repro.cli import main
+        rc = main(self.base_argv(paths) + [
+            "--on-shard-failure", "drop-and-flag",
+            "--fault-plan", self.crash_plan(paths).to_json()])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "PARTIAL" in captured.out or "PARTIAL" in captured.err
+
+    def test_plan_file_resolution(self, paths, tmp_path, capsys):
+        from repro.cli import main
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(self.crash_plan(paths).to_json())
+        rc = main(self.base_argv(paths) + [
+            "--on-shard-failure", "fail", "--fault-plan", str(plan_path)])
+        assert rc == 3
+
+    def test_clean_supervised_run_exit_code_0(self, paths):
+        from repro.cli import main
+        assert main(self.base_argv(paths) +
+                    ["--on-shard-failure", "retry"]) == 0

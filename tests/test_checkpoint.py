@@ -130,3 +130,100 @@ class TestCheckpointedRun:
     def test_interval_validated(self, tmp_path):
         with pytest.raises(ValueError):
             CheckpointedRun(SOPDetector(group()), tmp_path / "x", interval=0)
+
+
+class TestAtomicity:
+    """Torn-write regressions: a truncated checkpoint must fail loudly
+    (naming the file), and a save must never leave temp droppings."""
+
+    def saved(self, tmp_path, stream):
+        det = SOPDetector(group())
+        batches = list(batches_by_boundary(stream, 50, "count"))
+        for t, batch in batches[:6]:
+            det.step(t, batch)
+        path = tmp_path / "ckpt.jsonl"
+        save_checkpoint(det, batches[5][0], path)
+        return path
+
+    def test_header_promises_point_count(self, tmp_path, stream):
+        import json
+        path = self.saved(tmp_path, stream)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["points"] == len(path.read_text().splitlines()) - 1
+
+    def test_dropped_line_raises_naming_file(self, tmp_path, stream):
+        """Whole trailing lines lost (truncation on a line boundary):
+        the body disagrees with the promised count."""
+        path = self.saved(tmp_path, stream)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]))
+        with pytest.raises(ValueError, match="truncated checkpoint") as exc:
+            load_checkpoint(path)
+        assert str(path) in str(exc.value)
+
+    def test_mid_line_tear_raises_naming_file(self, tmp_path, stream):
+        """A tear mid-line leaves unparseable JSON: also loud, also
+        naming the file."""
+        from repro import tear_file
+        path = self.saved(tmp_path, stream)
+        tear_file(path, path.stat().st_size - 7)
+        with pytest.raises(ValueError, match="malformed point") as exc:
+            load_checkpoint(path)
+        assert str(path) in str(exc.value)
+
+    def test_truncate_fault_plan_produces_the_tear(self, tmp_path, stream):
+        """The chaos harness's ``truncate`` fault is exactly this tear."""
+        from repro import Fault, FaultPlan
+        path = self.saved(tmp_path, stream)
+        plan = FaultPlan((Fault("truncate", path=path.name,
+                                keep_bytes=path.stat().st_size - 5),))
+        torn = plan.apply_truncations(tmp_path)
+        assert torn == [path]
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_no_tmp_left_behind(self, tmp_path, stream):
+        self.saved(tmp_path, stream)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_save_overwrites_atomically(self, tmp_path, stream):
+        """Re-checkpointing over an existing file goes through the same
+        temp+rename path; the result is the new complete file."""
+        path = self.saved(tmp_path, stream)
+        first = path.read_text()
+        det, last_t = load_checkpoint(path)
+        save_checkpoint(det, last_t, path)
+        assert not list(tmp_path.glob("*.tmp"))
+        restored, t2 = load_checkpoint(path)
+        assert t2 == last_t
+        assert path.read_text().splitlines()[1:] == \
+            first.splitlines()[1:]
+
+    def test_sharded_manifest_tear_is_loud(self, tmp_path, stream):
+        from repro import (DetectorConfig, Runtime, load_sharded_checkpoint,
+                           save_sharded_checkpoint, tear_file)
+        runtime = Runtime(group(), config=DetectorConfig(shards=2))
+        for t, batch in list(batches_by_boundary(stream, 50, "count"))[:6]:
+            runtime.step(t, batch)
+        manifest = tmp_path / "sharded.jsonl"
+        save_sharded_checkpoint(runtime, 300, manifest)
+        assert not list(tmp_path.glob("*.tmp"))
+        tear_file(manifest, 10)
+        with pytest.raises(ValueError, match="malformed sharded") as exc:
+            load_sharded_checkpoint(manifest)
+        assert str(manifest) in str(exc.value)
+
+    def test_sharded_segment_truncation_is_loud(self, tmp_path, stream):
+        from repro import (DetectorConfig, Runtime, load_sharded_checkpoint,
+                           save_sharded_checkpoint)
+        runtime = Runtime(group(), config=DetectorConfig(shards=2))
+        for t, batch in list(batches_by_boundary(stream, 50, "count"))[:6]:
+            runtime.step(t, batch)
+        manifest = tmp_path / "sharded.jsonl"
+        save_sharded_checkpoint(runtime, 300, manifest)
+        segment = tmp_path / "sharded.jsonl.shard1"
+        lines = segment.read_text().splitlines(keepends=True)
+        segment.write_text("".join(lines[:-1]))
+        with pytest.raises(ValueError, match="truncated checkpoint") as exc:
+            load_sharded_checkpoint(manifest)
+        assert "shard1" in str(exc.value)
