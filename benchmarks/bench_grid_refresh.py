@@ -1,26 +1,37 @@
-"""Grid-pruned refresh benchmark: GridPrunedRefresh vs BatchedRefresh.
+"""Grid/SoA refresh benchmark: the K-SKY refresh engines head to head.
 
-Measures what grid-cell candidate pruning buys on top of the batched
-K-SKY engine, per boundary, using the detector's own
-:class:`repro.metrics.RefreshProfile` counters:
+Measures, per boundary and per config, what each refresh optimization
+buys using the detector's own :class:`repro.metrics.RefreshProfile`
+counters:
 
-* ``mean_refresh_ms`` -- wall time inside the refresh stage;
-* ``distance_rows`` -- point-to-point distances actually computed (the
-  quantity pruning exists to shrink from O(rows x window) to
-  O(rows x neighborhood));
-* ``candidates_pruned`` / ``kernel_cells_visited`` -- how many candidate
-  columns stayed out of the kernels, and what the neighborhood assembly
-  cost in cell probes.
+* ``batched`` -- the object-path batched engine (the baseline);
+* ``grid`` -- object-path batched + grid-cell candidate pruning;
+* ``soa`` -- ``skyband_impl="soa"`` under ``refresh_strategy="auto"``:
+  the vectorized structure-of-arrays skyband tier driving the batched
+  scans, with the measured batched-vs-grid crossover picking the kernel
+  strategy per regime (so the r=200 rows where pruning loses stay off
+  the grid path);
+* a ``per-point`` oracle run at the headline config -- the paper's
+  literal one-kernel-per-point Alg. 3 loop, the reference every speedup
+  claim is anchored to.
 
-Grid: workload B (fixed r, varying k -- the regime where scans terminate
-late and the window-sized kernels hurt most) at r in {100, 200} x swift
-windows {4k .. 32k}, plus a 64k point at the headline radius (the kernel
-share of refresh time grows with the window, so large windows are where
-pruning structurally pays), over a clustered stream.  Output equality between
-the two engines is asserted on every config -- a speedup that changes
-answers is a bug, not a result.  Small-window / uniform regimes where
-pruning overhead loses are expected and reported honestly: per-config
-speedups below 1.0 stay in the JSON next to their pruning counters.
+Key reported quantities:
+
+* ``refresh_speedup`` -- batched(object) refresh_ns / soa refresh_ns,
+  the tentpole measurement (>= 1.0 expected everywhere, including the
+  rows where plain grid regressed);
+* ``grid_speedup`` -- batched / grid, continuity with the v1 schema;
+* ``python_insert_iters_reduction`` -- interpreted skyband-scan
+  iterations, object vs soa: the Python insert loop the SoA tier
+  exists to kill;
+* ``soa_insert_rows`` -- skyband entries committed through bulk array
+  appends instead of per-entry ``insert()`` calls;
+* ``perpoint_speedup_soa`` -- per-point refresh_ns / soa refresh_ns at
+  the oracle config (the >= 5x acceptance gate).
+
+Output equality across every engine pair is asserted on every config --
+a speedup that changes answers is a bug, not a result.  Per-config
+speedups below 1.0 stay in the JSON next to their counters.
 
 Usage::
 
@@ -65,14 +76,28 @@ WORKLOAD = "B"
 SLIDE_DIV = 20
 #: stream length in windows: one warm-up window + one steady-state window
 WINDOWS_PER_STREAM = 2
-#: headline gate: grid must beat batched by this factor on some config
-#: with window >= HEADLINE_MIN_WINDOW (checked in full mode)
+#: configs that additionally run the per-point oracle (once -- it is the
+#: slow path by design); the soa-vs-per-point speedup is the headline gate
+PERPOINT_CONFIGS = ((16_000, 100.0),)
+#: headline gates, checked in full mode (warnings, not failures: honest
+#: regressions belong in the JSON)
 HEADLINE_SPEEDUP = 1.5
 HEADLINE_MIN_WINDOW = 16_000
-#: timing runs per engine in full mode (alternating order, min taken):
-#: detector outputs and work counters are deterministic, wall time is
-#: not -- min-of-2 suppresses load spikes from sharing the machine
-REPEATS = 2
+PERPOINT_SPEEDUP_TARGET = 5.0
+ITERS_REDUCTION_TARGET = 10.0
+#: timing runs per engine in full mode (alternating order, per-boundary
+#: minimum of refresh_ns across repeats): detector outputs and work
+#: counters are deterministic, wall time is not, and ambient load bursts
+#: can last minutes -- longer than one run -- so the minimum is taken per
+#: boundary, not per run
+REPEATS = 3
+
+#: benchmarked engines: label -> DetectorConfig kwargs
+ENGINES = {
+    "batched": {"refresh_strategy": "batched"},
+    "grid": {"refresh_strategy": "grid"},
+    "soa": {"refresh_strategy": "auto", "skyband_impl": "soa"},
+}
 
 
 def _ranges(window: int, r: float):
@@ -94,15 +119,20 @@ def _stream(window: int):
     )
 
 
-def _profile_dict(det: SOPDetector) -> dict:
+def _profile_dict(det: SOPDetector, robust_ns: float | None = None) -> dict:
+    """Profile counters for the report.  ``robust_ns`` replaces the raw
+    single-run refresh time with the noise-robust estimate (per-boundary
+    minimum across repeats) when repeats were taken."""
     prof = det.profile
+    refresh_ns = int(robust_ns) if robust_ns is not None else prof.refresh_ns
     return {
         "boundaries": prof.boundaries,
-        "refresh_ns": prof.refresh_ns,
-        "mean_refresh_ms": round(prof.mean_refresh_ms, 4),
+        "refresh_ns": refresh_ns,
+        "mean_refresh_ms": round(refresh_ns / max(1, prof.boundaries) / 1e6, 4),
         "kernel_launches": prof.kernel_launches,
         "batch_rows": prof.batch_rows,
         "python_insert_iters": prof.python_insert_iters,
+        "soa_insert_rows": prof.soa_insert_rows,
         "candidates_pruned": prof.candidates_pruned,
         "kernel_cells_visited": prof.kernel_cells_visited,
         "distance_rows": det.buffer.distance_rows,
@@ -111,44 +141,73 @@ def _profile_dict(det: SOPDetector) -> dict:
     }
 
 
-def run_config(window: int, r: float, seed: int = 11,
-               repeats: int = REPEATS) -> dict:
-    group = build_workload(WORKLOAD, n_queries=N_QUERIES, seed=seed,
-                           ranges=_ranges(window, r))
-    stream = _stream(window)
-    # alternating engine order so both see one early and one late slot;
-    # per engine the fastest run is kept (outputs and work counters are
-    # deterministic across repeats -- only wall time varies)
-    order = ("grid", "batched", "batched", "grid")[: 2 * max(1, repeats)]
-    runs = {}
-    for label in order:
-        det = SOPDetector(group, config=DetectorConfig(
-            refresh_strategy=label))
-        res = det.run(stream)
-        best = runs.get(label)
-        if best is None or det.profile.refresh_ns < best[0].profile.refresh_ns:
-            runs[label] = (det, res)
-    det_g, res_g = runs["grid"]
-    det_b, res_b = runs["batched"]
-    # the pruning oracle: answers, memory accounting, and the logical work
-    # counters must be identical; only kernel volume may differ
-    diffs = compare_outputs(res_b.outputs, res_g.outputs)
-    if res_g.memory.peak_units != res_b.memory.peak_units:
+def _check_equal(label: str, det, res, det_ref, res_ref, diffs) -> None:
+    """Engine-independence oracle: answers, memory accounting, and the
+    logical work counters must match the baseline; only kernel volume and
+    interpreter-iteration counters may differ."""
+    for d in compare_outputs(res_ref.outputs, res.outputs):
+        diffs.append(f"{label}: {d}")
+    if res.memory.peak_units != res_ref.memory.peak_units:
         diffs.append(
-            f"peak memory units: batched {res_b.memory.peak_units} "
-            f"vs grid {res_g.memory.peak_units}"
+            f"{label}: peak memory units {res.memory.peak_units} "
+            f"vs batched {res_ref.memory.peak_units}"
         )
     for key in ("ksky_runs", "points_examined", "fully_safe_marked",
                 "early_terminations"):
-        if det_g.stats[key] != det_b.stats[key]:
-            diffs.append(f"stats[{key}]: batched {det_b.stats[key]} "
-                         f"vs grid {det_g.stats[key]}")
+        if det.stats[key] != det_ref.stats[key]:
+            diffs.append(f"{label}: stats[{key}] {det.stats[key]} "
+                         f"vs batched {det_ref.stats[key]}")
+
+
+def run_config(window: int, r: float, seed: int = 11,
+               repeats: int = REPEATS, with_perpoint: bool = False) -> dict:
+    group = build_workload(WORKLOAD, n_queries=N_QUERIES, seed=seed,
+                           ranges=_ranges(window, r))
+    stream = _stream(window)
+    # alternating engine order so every engine sees early and late slots;
+    # per engine the timing estimate is the per-boundary MINIMUM of
+    # refresh_ns across repeats (outputs and work counters are
+    # deterministic across repeats -- only wall time varies, and ambient
+    # load bursts can span a whole run, so a min over whole runs is not
+    # robust while a min per boundary is)
+    labels = list(ENGINES)
+    order = []
+    for rep in range(max(1, repeats)):
+        order.extend(labels if rep % 2 == 0 else reversed(labels))
+    runs = {}
+    boundary_ns: dict = {}
+    for label in order:
+        det = SOPDetector(group, config=DetectorConfig(**ENGINES[label]))
+        res = det.run(stream)
+        runs[label] = (det, res)
+        sample_ns = np.array([s[0] for s in det.profile.samples],
+                             dtype=np.int64)
+        prev = boundary_ns.get(label)
+        boundary_ns[label] = (sample_ns if prev is None
+                              else np.minimum(prev, sample_ns))
+    if with_perpoint:
+        det = SOPDetector(group, config=DetectorConfig(
+            refresh_strategy="per-point"))
+        runs["per-point"] = (det, det.run(stream))
+        boundary_ns["per-point"] = np.array(
+            [s[0] for s in det.profile.samples], dtype=np.int64)
+    robust_ns = {label: float(arr.sum()) for label, arr in
+                 boundary_ns.items()}
+    det_b, res_b = runs["batched"]
+    diffs: list = []
+    for label, (det, res) in runs.items():
+        if label != "batched":
+            _check_equal(label, det, res, det_b, res_b, diffs)
     equal = not diffs
-    speedup = (det_b.profile.refresh_ns / det_g.profile.refresh_ns
-               if det_g.profile.refresh_ns else float("nan"))
-    rows_g = det_g.buffer.distance_rows
-    rows_b = det_b.buffer.distance_rows
-    return {
+
+    def _ns(label):
+        return robust_ns[label]
+
+    soa_ns = _ns("soa")
+    grid_ns = _ns("grid")
+    iters_b = det_b.profile.python_insert_iters
+    iters_s = runs["soa"][0].profile.python_insert_iters
+    out = {
         "workload": WORKLOAD,
         "window": window,
         "r": r,
@@ -156,41 +215,64 @@ def run_config(window: int, r: float, seed: int = 11,
         "swift_window": group.swift.win,
         "n_queries": N_QUERIES,
         "stream_points": len(stream),
-        "grid": _profile_dict(det_g),
-        "batched": _profile_dict(det_b),
-        "refresh_speedup": round(speedup, 3),
-        "distance_rows_ratio": round(rows_b / rows_g, 3) if rows_g else None,
+        "batched": _profile_dict(det_b, robust_ns["batched"]),
+        "grid": _profile_dict(runs["grid"][0], robust_ns["grid"]),
+        "soa": _profile_dict(runs["soa"][0], robust_ns["soa"]),
+        "refresh_speedup": round(_ns("batched") / soa_ns, 3)
+        if soa_ns else float("nan"),
+        "grid_speedup": round(_ns("batched") / grid_ns, 3)
+        if grid_ns else float("nan"),
+        "python_insert_iters_reduction": round(iters_b / iters_s, 1)
+        if iters_s else float("inf"),
         "outputs_equal": equal,
         "equality_diffs": diffs[:5],
     }
+    if with_perpoint:
+        pp_ns = _ns("per-point")
+        out["per_point"] = _profile_dict(runs["per-point"][0], pp_ns)
+        out["perpoint_speedup_soa"] = (round(pp_ns / soa_ns, 3)
+                                       if soa_ns else float("nan"))
+    return out
 
 
-def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS) -> dict:
+def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS,
+             perpoint_configs=()) -> dict:
     pairs = [(window, r) for r in rs for window in windows]
     pairs.extend(extra_pairs)
     configs = []
     for window, r in pairs:
-        cfg = run_config(window, r, repeats=repeats)
+        cfg = run_config(window, r, repeats=repeats,
+                         with_perpoint=(window, r) in set(perpoint_configs))
         configs.append(cfg)
+        pp = (f" perpoint->soa {cfg['perpoint_speedup_soa']:.2f}x"
+              if "perpoint_speedup_soa" in cfg else "")
         print(
             f"workload B r={cfg['r']:>5.0f} win={cfg['window']:>6}: "
             f"batched {cfg['batched']['mean_refresh_ms']:8.2f} ms/b "
-            f"-> grid {cfg['grid']['mean_refresh_ms']:8.2f} ms/b "
+            f"-> soa {cfg['soa']['mean_refresh_ms']:8.2f} ms/b "
             f"speedup {cfg['refresh_speedup']:.2f}x "
-            f"(rows /{cfg['distance_rows_ratio']}, "
-            f"pruned {cfg['grid']['candidates_pruned']}, "
-            f"cells {cfg['grid']['kernel_cells_visited']}) "
+            f"(grid {cfg['grid_speedup']:.2f}x, "
+            f"iters /{cfg['python_insert_iters_reduction']}){pp} "
             f"outputs_equal={cfg['outputs_equal']}"
         )
         if not cfg["outputs_equal"]:
             details = "\n  ".join(cfg["equality_diffs"])
             raise SystemExit(
-                f"FATAL: grid and batched runs diverge on "
+                f"FATAL: refresh engines diverge on "
                 f"r={r} window {window}:\n  {details}"
             )
     headline = max(
         (c["refresh_speedup"] for c in configs
          if c["window"] >= HEADLINE_MIN_WINDOW),
+        default=None,
+    )
+    perpoint = max(
+        (c["perpoint_speedup_soa"] for c in configs
+         if "perpoint_speedup_soa" in c),
+        default=None,
+    )
+    min_iters_reduction = min(
+        (c["python_insert_iters_reduction"] for c in configs),
         default=None,
     )
     regressions = [
@@ -199,7 +281,7 @@ def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS) -> dict:
         for c in configs if c["refresh_speedup"] < 1.0
     ]
     return {
-        "schema": "bench_grid_refresh/v1",
+        "schema": "bench_grid_refresh/v2",
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -211,10 +293,13 @@ def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS) -> dict:
             "windows_per_stream": WINDOWS_PER_STREAM,
             "slide_divisor": SLIDE_DIV,
             "timing_runs_per_engine": repeats,
+            "engines": {k: dict(v) for k, v in ENGINES.items()},
             "stream": "make_synthetic_points(dim=2, outlier_rate=0.02, "
                       "seed=7, n_clusters=4, cluster_spread=120)",
         },
         "headline_speedup_at_large_windows": headline,
+        "headline_speedup_vs_perpoint": perpoint,
+        "min_python_insert_iters_reduction": min_iters_reduction,
         "regressions": regressions,
         "configs": configs,
     }
@@ -233,13 +318,22 @@ def main(argv=None) -> int:
         report = run_grid(QUICK_WINDOWS, QUICK_RS, repeats=1)
     else:
         xl_pairs = [(w, r) for r in XL_RS for w in XL_WINDOWS]
-        report = run_grid(WINDOWS, RS, extra_pairs=xl_pairs)
-        headline = report["headline_speedup_at_large_windows"]
-        if headline is not None and headline < HEADLINE_SPEEDUP:
-            print(
-                f"WARNING: best large-window speedup {headline:.2f}x is "
-                f"below the {HEADLINE_SPEEDUP}x target", file=sys.stderr,
-            )
+        report = run_grid(WINDOWS, RS, extra_pairs=xl_pairs,
+                          perpoint_configs=PERPOINT_CONFIGS)
+        gates = (
+            ("best large-window batched->soa speedup",
+             report["headline_speedup_at_large_windows"], HEADLINE_SPEEDUP),
+            ("per-point->soa speedup",
+             report["headline_speedup_vs_perpoint"],
+             PERPOINT_SPEEDUP_TARGET),
+            ("min python_insert_iters reduction",
+             report["min_python_insert_iters_reduction"],
+             ITERS_REDUCTION_TARGET),
+        )
+        for what, got, want in gates:
+            if got is not None and got < want:
+                print(f"WARNING: {what} {got:.2f}x is below the {want}x "
+                      f"target", file=sys.stderr)
     out = args.out if args.out is not None else (
         None if args.quick else "BENCH_grid.json")
     if out:

@@ -36,6 +36,7 @@ from .checkpoint import (
     save_sharded_checkpoint,
 )
 from .engine import (
+    AutoRefresh,
     BatchedRefresh,
     DetectorConfig,
     DueQueryEvaluator,
@@ -45,6 +46,7 @@ from .engine import (
     RefreshEngine,
     SafetyTracker,
     StreamExecutor,
+    VectorizedSkybandEngine,
 )
 from .baselines.leap import LEAPDetector
 from .baselines.mcod import MCODDetector
@@ -57,6 +59,7 @@ from .core.evaluator import (
 )
 from .core.ksky import KSkyResult, KSkyRunner, sky_evaluate
 from .core.lsky import LSky
+from .core.lsky_soa import LSkySoA
 from .core.multi_attr import (
     MultiAttributeDetector,
     MultiAttributeSOP,
@@ -153,6 +156,7 @@ __all__ = [
     "KSkyRunner",
     "LEAPDetector",
     "LSky",
+    "LSkySoA",
     "ListSource",
     "MCODDetector",
     "MemoryMeter",
@@ -179,6 +183,7 @@ __all__ = [
     "AlertRouter",
     "AlertSink",
     "AlertSubscriber",
+    "AutoRefresh",
     "Backend",
     "BatchedRefresh",
     "CallbackSink",
@@ -205,6 +210,7 @@ __all__ = [
     "ShardedCheckpointSubscriber",
     "StreamExecutor",
     "StreamPartitioner",
+    "VectorizedSkybandEngine",
     "available_metrics",
     "batches_by_boundary",
     "brute_force_outliers",

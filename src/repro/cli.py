@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="K-SKY refresh engine: per-point, batched, or "
                           "grid (batched + grid-cell candidate pruning); "
                           "auto defers to --no-batched-refresh (SOP only)")
+    det.add_argument("--skyband-impl", choices=("object", "soa"),
+                     default="object",
+                     help="skyband state backend: object (Python-list "
+                          "LSky oracle) or soa (flat numpy arrays, "
+                          "vectorized scans; identical outputs, SOP only)")
     det.add_argument("--lazy", action="store_true",
                      help="refresh evidence only at boundaries with due "
                           "queries instead of eagerly every slide (SOP only)")
@@ -222,6 +227,7 @@ def _cmd_detect(args) -> int:
         use_batched_refresh=not args.no_batched_refresh,
         batch_min_rows=args.batch_min_rows,
         refresh_strategy=args.refresh_strategy,
+        skyband_impl=args.skyband_impl,
         shards=args.shards,
         backend=args.backend,
         replication_radius=args.replication_radius,

@@ -35,7 +35,8 @@ SkybandEntry = Tuple[int, float, int]
 class LSky:
     """Layered skyband evidence for a single evaluated point."""
 
-    __slots__ = ("n_layers", "seqs", "poss", "layers", "_sorted_layers")
+    __slots__ = ("n_layers", "seqs", "poss", "layers", "_sorted_layers",
+                 "_buckets_cache", "_cards_cache")
 
     def __init__(self, n_layers: int):
         if n_layers < 1:
@@ -46,6 +47,13 @@ class LSky:
         self.layers: List[int] = []
         # multiset of layers, kept sorted for O(log n) dominator counting
         self._sorted_layers: List[int] = []
+        # memoized layer_buckets()/layer_cardinalities(), keyed on the
+        # entry count: LSky is append-only, so a count match proves the
+        # cache is current under *every* mutation path -- insert(),
+        # extend_older(), and the batched scan's direct list appends alike
+        # (an invalidate-on-insert scheme would go stale on the latter two)
+        self._buckets_cache: Optional[Tuple[int, Dict[int, List[int]]]] = None
+        self._cards_cache: Optional[Tuple[int, Dict[int, int]]] = None
 
     # ------------------------------------------------------------- mutation
 
@@ -177,18 +185,28 @@ class LSky:
         Within each bucket, seqs are listed in arrival order (earliest at
         the head) so that "skyband points can be quickly expired when the
         window slides" -- matching the figure's head-to-tail layout.
+        Memoized per entry count (the structure is append-only); callers
+        must treat the returned lists as read-only between mutations.
         """
-        buckets: Dict[int, List[int]] = {}
-        for seq, layer in zip(self.seqs, self.layers):
-            buckets.setdefault(layer, []).append(seq)
-        return {m: list(reversed(s)) for m, s in sorted(buckets.items())}
+        n = len(self.seqs)
+        if self._buckets_cache is None or self._buckets_cache[0] != n:
+            buckets: Dict[int, List[int]] = {}
+            for seq, layer in zip(self.seqs, self.layers):
+                buckets.setdefault(layer, []).append(seq)
+            self._buckets_cache = (
+                n, {m: list(reversed(s)) for m, s in sorted(buckets.items())})
+        return {m: list(s) for m, s in self._buckets_cache[1].items()}
 
     def layer_cardinalities(self) -> Dict[int, int]:
-        """Per-layer entry counts (the explicit cardinalities of Alg. 2)."""
-        counts: Dict[int, int] = {}
-        for layer in self.layers:
-            counts[layer] = counts.get(layer, 0) + 1
-        return dict(sorted(counts.items()))
+        """Per-layer entry counts (the explicit cardinalities of Alg. 2);
+        memoized per entry count, like :meth:`layer_buckets`."""
+        n = len(self.layers)
+        if self._cards_cache is None or self._cards_cache[0] != n:
+            counts: Dict[int, int] = {}
+            for layer in self.layers:
+                counts[layer] = counts.get(layer, 0) + 1
+            self._cards_cache = (n, dict(sorted(counts.items())))
+        return dict(self._cards_cache[1])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LSky({len(self)} entries over {self.n_layers} layers)"

@@ -1,0 +1,527 @@
+"""LSkySoA: the layered skyband as a flat structure-of-arrays tier.
+
+:class:`~repro.core.lsky.LSky` stores one evaluated point's skyband as
+Python lists and is mutated one entry at a time; profiling
+(``BENCH_grid.json``) showed that after the kernel-volume optimizations the
+refresh stage spends most of its time in exactly those per-entry
+interpreted loops.  This module provides the array-backed twin:
+
+* :class:`LSkySoA` -- the same API and the same invariants as ``LSky``
+  (entries in arrival-descending order, layer multiset for dominator
+  counting), but held as parallel numpy arrays (``seqs``, ``poss``,
+  ``layers``) plus a per-layer count vector, so ``dominator_count`` /
+  ``count_within`` / ``k_distance_layer`` / ``succ_layers`` become
+  cumsum/searchsorted passes and bulk inserts are array concatenation;
+* :func:`insert_limits` + :func:`resolve_chunk_inserts` -- the vectorized
+  form of the Alg. 2 ``skyEvaluate`` insert loop over a whole candidate
+  chunk (see the exactness argument below);
+* an optional numba kernel behind the ``REPRO_NUMBA=1`` environment flag
+  (:func:`numba_active`), which compiles the *literal* sequential decision
+  loop; when numba is absent or the flag is off, the pure-numpy path runs.
+
+Exactness of the vectorized insert resolve (DESIGN.md section 12 carries the
+full argument).  The sequential loop inserts a candidate at layer ``m``
+iff ``c < k_max and m <= allowed_layer[c]`` where ``c`` is the dominator
+count at evaluation time.  Two structural facts make the loop computable
+with array passes:
+
+1. ``allowed_layer`` is *nonincreasing* in ``c`` (it is a suffix maximum
+   over sub-groups with ``k_j > c``; see ``SkybandPlan``).  Hence the
+   insert predicate collapses to ``c < limit(m)`` with
+   ``limit(m) = min{c : c >= k_max or allowed_layer[c] < m}``
+   (:func:`insert_limits`).
+2. For a *fixed* layer ``m``, the dominator count seen by successive
+   layer-``m`` candidates is nondecreasing along the scan (inserts only
+   ever add dominators).  Therefore the inserted layer-``m`` candidates
+   form a *prefix* of the layer-``m`` candidates in scan order, and the
+   prefix length is one ``searchsorted`` against ``limit(m)`` once the
+   dominator base of each candidate is known.  Processing layers in
+   ascending order makes that base available: a layer-``m`` candidate's
+   dominators are the stored entries at layers ``<= m`` plus the
+   already-resolved chunk inserts at layers ``<= m`` that precede it in
+   scan order -- and inserts at layers ``< m`` never depend on decisions
+   at layers ``>= m``.
+
+The resolve ignores early termination; the caller replays the (small)
+insert sequence through the real ``_Resolution`` tracker to find the exact
+cut point, so regime transitions and check cadence stay literal.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .lsky import SkybandEntry
+
+__all__ = ["LSkySoA", "insert_limits", "resolve_chunk_inserts",
+           "numba_active"]
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+class LSkySoA:
+    """Array-backed layered skyband; drop-in twin of :class:`LSky`.
+
+    The invariants, validation errors, and query semantics replicate
+    ``LSky`` exactly (``tests/test_lsky_soa.py`` drives both through random
+    interleavings and compares every observable).  The ``seqs``/``poss``/
+    ``layers`` properties return live numpy views -- treat them as
+    read-only.
+    """
+
+    __slots__ = ("n_layers", "_seqs", "_poss", "_layers", "_n",
+                 "_layer_counts", "_csum", "_buckets", "_cards")
+
+    def __init__(self, n_layers: int):
+        if n_layers < 1:
+            raise ValueError("LSky needs at least one layer")
+        self.n_layers = n_layers
+        self._seqs = _EMPTY_I
+        self._poss = _EMPTY_F
+        self._layers = _EMPTY_I
+        self._n = 0
+        #: per-layer entry counts; None on adopted instances until needed
+        self._layer_counts: Optional[np.ndarray] = np.zeros(
+            n_layers, dtype=np.int64)
+        self._csum: Optional[np.ndarray] = None
+        self._buckets: Optional[Dict[int, List[int]]] = None
+        self._cards: Optional[Dict[int, int]] = None
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def from_parts(cls, n_layers: int, seqs: np.ndarray, poss: np.ndarray,
+                   layers: np.ndarray) -> "LSkySoA":
+        """Adopt already-validated arrays (the vectorized engine's path).
+
+        ``seqs`` must be strictly descending and ``layers`` within range;
+        the caller guarantees both (the scan order does).
+        """
+        sky = cls(n_layers)
+        sky._seqs = np.ascontiguousarray(seqs, dtype=np.int64)
+        sky._poss = np.ascontiguousarray(poss, dtype=np.float64)
+        sky._layers = np.ascontiguousarray(layers, dtype=np.int64)
+        sky._n = len(sky._seqs)
+        if sky._n:
+            sky._layer_counts = np.bincount(
+                sky._layers, minlength=n_layers).astype(np.int64)
+        return sky
+
+    @classmethod
+    def adopt(cls, n_layers: int, seqs, poss, layers) -> "LSkySoA":
+        """:meth:`from_parts` minus every deferrable cost -- the per-result
+        hot path of the vectorized engine (tens of thousands of calls per
+        boundary sweep).  Inputs may be arrays or plain lists in scan
+        order; the per-layer count vector is built lazily on first use."""
+        sky = object.__new__(cls)
+        sky.n_layers = n_layers
+        sky._seqs = np.asarray(seqs, dtype=np.int64)
+        sky._poss = np.asarray(poss, dtype=np.float64)
+        sky._layers = np.asarray(layers, dtype=np.int64)
+        sky._n = len(sky._seqs)
+        sky._layer_counts = None
+        sky._csum = None
+        sky._buckets = None
+        sky._cards = None
+        return sky
+
+    @staticmethod
+    def adopt_segments(n_layers: int, segs_s: List, segs_p: List,
+                       segs_l: List, n: int) -> "LSkySoA":
+        """Adopt per-chunk scan-order segments without touching numpy.
+
+        Cheaper still than :meth:`adopt`: segment lists (arrays or plain
+        python lists) are stored raw and concatenated/converted only when
+        an attribute is first read (``_LazySegmentsSoA.__getattr__``).
+        Most scan results are consumed exactly once -- frozen into
+        evidence arrays -- so the conversion runs at most once and often
+        on a code path that needed an ``asarray`` call anyway.
+        """
+        sky = object.__new__(_LazySegmentsSoA)
+        sky.n_layers = n_layers
+        sky._n = n
+        sky._raw = (segs_s, segs_p, segs_l)
+        return sky
+
+    # ------------------------------------------------------------- mutation
+
+    def _invalidate(self) -> None:
+        self._csum = None
+        self._buckets = None
+        self._cards = None
+
+    def _counts(self) -> np.ndarray:
+        """Materialize the lazy per-layer count vector (adopt path)."""
+        if self._layer_counts is None:
+            if self._n:
+                self._layer_counts = np.bincount(
+                    self._layers[: self._n],
+                    minlength=self.n_layers).astype(np.int64)
+            else:
+                self._layer_counts = np.zeros(self.n_layers, dtype=np.int64)
+        return self._layer_counts
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        cap = len(self._seqs)
+        if need <= cap:
+            return
+        cap = max(8, cap * 2, need)
+        for name, dtype in (("_seqs", np.int64), ("_poss", np.float64),
+                            ("_layers", np.int64)):
+            grown = np.empty(cap, dtype=dtype)
+            old = getattr(self, name)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
+    def insert(self, seq: int, pos: float, layer: int) -> None:
+        """Append a skyband point (must be older than all stored entries)."""
+        if not 0 <= layer < self.n_layers:
+            raise ValueError(f"layer {layer} out of range [0, {self.n_layers})")
+        if self._n and seq >= self._seqs[self._n - 1]:
+            raise ValueError(
+                f"entries must be inserted in descending seq order: "
+                f"{seq} after {int(self._seqs[self._n - 1])}"
+            )
+        counts = self._counts()
+        self._reserve(1)
+        self._seqs[self._n] = seq
+        self._poss[self._n] = pos
+        self._layers[self._n] = layer
+        self._n += 1
+        counts[layer] += 1
+        self._invalidate()
+
+    def extend_older(self, entries: Sequence[SkybandEntry]) -> None:
+        """Bulk-append entries that are all older than the stored ones."""
+        if not len(entries):
+            return
+        if self._n and entries[0][0] >= self._seqs[self._n - 1]:
+            raise ValueError(
+                f"extend_older requires strictly older entries: "
+                f"{entries[0][0]} after {int(self._seqs[self._n - 1])}"
+            )
+        prev = entries[0][0] + 1
+        for seq, pos, layer in entries:
+            if seq >= prev:
+                raise ValueError("extend_older entries must be seq-descending")
+            if not 0 <= layer < self.n_layers:
+                raise ValueError(f"layer {layer} out of range")
+            prev = seq
+        k = len(entries)
+        counts = self._counts()
+        self._reserve(k)
+        n = self._n
+        self._seqs[n: n + k] = [e[0] for e in entries]
+        self._poss[n: n + k] = [e[1] for e in entries]
+        new_layers = np.fromiter((e[2] for e in entries), dtype=np.int64,
+                                 count=k)
+        self._layers[n: n + k] = new_layers
+        self._n = n + k
+        counts += np.bincount(new_layers, minlength=self.n_layers)
+        self._invalidate()
+
+    def extend_arrays(self, seqs: np.ndarray, poss: np.ndarray,
+                      layers: np.ndarray) -> None:
+        """Trusted bulk append (scan-order guaranteed by the caller)."""
+        k = len(seqs)
+        if not k:
+            return
+        counts = self._counts()
+        self._reserve(k)
+        n = self._n
+        self._seqs[n: n + k] = seqs
+        self._poss[n: n + k] = poss
+        self._layers[n: n + k] = layers
+        self._n = n + k
+        counts += np.bincount(layers, minlength=self.n_layers)
+        self._invalidate()
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def seqs(self) -> np.ndarray:
+        return self._seqs[: self._n]
+
+    @property
+    def poss(self) -> np.ndarray:
+        return self._poss[: self._n]
+
+    @property
+    def layers(self) -> np.ndarray:
+        return self._layers[: self._n]
+
+    def _cumulative(self) -> np.ndarray:
+        if self._csum is None:
+            self._csum = np.cumsum(self._counts())
+        return self._csum
+
+    def dominator_count(self, layer: int) -> int:
+        """Stored entries with layer <= ``layer`` (Def. 5 prefix count)."""
+        if layer < 0:
+            return 0
+        if layer >= self.n_layers:
+            return self._n
+        return int(self._cumulative()[layer])
+
+    def _live_prefix(self, min_pos: float) -> int:
+        """Length of the unexpired prefix: ``LSky`` stops at the *first*
+        entry with ``pos < min_pos`` (positions descend in detector use,
+        so that is the whole live set) -- replicated literally so the twin
+        agrees even on adversarial non-monotone positions."""
+        n = self._n
+        if not n:
+            return 0
+        expired = self._poss[:n] < min_pos
+        return int(np.argmax(expired)) if expired.any() else n
+
+    def count_within(self, max_layer: int, min_pos: float, cap: int) -> int:
+        """Neighbors with ``layer <= max_layer`` and ``pos >= min_pos``,
+        capped at ``cap`` -- one mask plus one vectorized count."""
+        keep = self._live_prefix(min_pos)
+        if not keep:
+            return 0
+        count = int(np.count_nonzero(self._layers[:keep] <= max_layer))
+        return count if count < cap else cap
+
+    def succ_layers(self, p_seq: int) -> List[int]:
+        """Layers of entries younger than ``p_seq`` (a prefix)."""
+        n = self._n
+        if not n:
+            return []
+        keep = int(np.searchsorted(-self._seqs[:n], -p_seq, side="left"))
+        return self._layers[:keep].tolist()
+
+    def k_distance_layer(self, k: int) -> Optional[int]:
+        """Layer of the k-th nearest neighbor by normalized distance."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self._n < k:
+            return None
+        # smallest layer m whose cumulative count reaches k
+        return int(np.searchsorted(self._cumulative(), k, side="left"))
+
+    def unexpired_entries(self, min_pos: float) -> List[SkybandEntry]:
+        """Entries with ``pos >= min_pos``, preserving descending order."""
+        keep = self._live_prefix(min_pos)
+        if not keep:
+            return []
+        return list(zip(self._seqs[:keep].tolist(),
+                        self._poss[:keep].tolist(),
+                        self._layers[:keep].tolist()))
+
+    def entries(self) -> Iterator[SkybandEntry]:
+        """All entries in processing (arrival-descending) order."""
+        n = self._n
+        return iter(zip(self._seqs[:n].tolist(), self._poss[:n].tolist(),
+                        self._layers[:n].tolist()))
+
+    def layer_buckets(self) -> Dict[int, List[int]]:
+        """Buckets ``B_m -> [seqs...]`` (Fig. 2 layout), cached."""
+        if self._buckets is None:
+            n = self._n
+            layers = self._layers[:n]
+            seqs = self._seqs[:n]
+            buckets: Dict[int, List[int]] = {}
+            for m in np.unique(layers).tolist():
+                buckets[m] = seqs[layers == m][::-1].tolist()
+            self._buckets = buckets
+        return {m: list(s) for m, s in self._buckets.items()}
+
+    def layer_cardinalities(self) -> Dict[int, int]:
+        """Per-layer entry counts, cached."""
+        if self._cards is None:
+            uniq, counts = np.unique(self._layers[: self._n],
+                                     return_counts=True)
+            self._cards = dict(zip(uniq.tolist(), counts.tolist()))
+        return dict(self._cards)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LSkySoA({self._n} entries over {self.n_layers} layers)"
+
+
+#: slots of :class:`LSkySoA` that a lazy instance fills on first touch
+_LAZY_SLOTS = frozenset(
+    ("_seqs", "_poss", "_layers", "_layer_counts", "_csum", "_buckets",
+     "_cards"))
+
+
+class _LazySegmentsSoA(LSkySoA):
+    """:class:`LSkySoA` whose arrays materialize on first attribute read.
+
+    Built by :meth:`LSkySoA.adopt_segments`: only ``n_layers``/``_n`` and
+    the raw segment tuple are assigned, so the remaining slots stay unset
+    and the first read of any of them lands in ``__getattr__`` (python
+    consults it only after ``__getattribute__`` fails), which
+    concatenates the segments and fills every slot.  After that one call
+    the instance behaves exactly like its parent with zero indirection
+    overhead.
+    """
+
+    __slots__ = ("_raw",)
+
+    def _invalidate(self) -> None:
+        # a mutation makes the raw segments stale; consumers that adopt
+        # them directly (``sop._arrays_from_lsky``) must fall back to the
+        # materialized arrays from here on
+        LSkySoA._invalidate(self)
+        self._raw = None
+
+    def __getattr__(self, name):
+        if name not in _LAZY_SLOTS:
+            raise AttributeError(name)
+        segs_s, segs_p, segs_l = object.__getattribute__(self, "_raw")
+        if len(segs_s) == 1:
+            self._seqs = np.asarray(segs_s[0], dtype=np.int64)
+            self._poss = np.asarray(segs_p[0], dtype=np.float64)
+            self._layers = np.asarray(segs_l[0], dtype=np.int64)
+        else:
+            self._seqs = np.concatenate(segs_s, dtype=np.int64)
+            self._poss = np.concatenate(segs_p, dtype=np.float64)
+            self._layers = np.concatenate(segs_l, dtype=np.int64)
+        self._layer_counts = None
+        self._csum = None
+        self._buckets = None
+        self._cards = None
+        return object.__getattribute__(self, name)
+
+
+# --------------------------------------------------------- vectorized resolve
+
+
+def insert_limits(allowed_layer: Sequence[int], k_max: int,
+                  n_layers: int) -> np.ndarray:
+    """``limit[m]``: smallest dominator count that rejects a layer-``m``
+    candidate.
+
+    Because ``allowed_layer`` is nonincreasing, the Def. 6 predicate
+    ``c < k_max and m <= allowed_layer[c]`` is exactly ``c < limit[m]``.
+    Built once per plan; O(n_layers * k_max).
+    """
+    limits = np.empty(n_layers, dtype=np.int64)
+    for m in range(n_layers):
+        lim = k_max
+        for c in range(k_max):
+            if allowed_layer[c] < m:
+                lim = c
+                break
+        limits[m] = lim
+    return limits
+
+
+def resolve_chunk_inserts(
+    m_scan: np.ndarray, layer_counts: np.ndarray, limits: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Positions (in scan order) the sequential insert loop would insert.
+
+    ``m_scan`` holds candidate layers in scan (newest-first) order, all
+    ``< n_layers``; ``layer_counts`` the stored per-layer entry counts
+    (not mutated); ``limits`` comes from :func:`insert_limits`.  Early
+    termination is ignored -- the caller replays the returned sequence
+    through ``_Resolution`` and truncates at the exact stop point.
+
+    Returns ``(positions, layers)`` with positions strictly ascending.
+    """
+    n = m_scan.shape[0]
+    if not n:
+        return _EMPTY_I, _EMPTY_I
+    order = np.argsort(m_scan, kind="stable")
+    m_sorted = m_scan[order]
+    csum = np.cumsum(layer_counts)
+    uniq, starts = np.unique(m_sorted, return_index=True)
+    bounds = np.append(starts, n)
+    ins_pos: Optional[np.ndarray] = None
+    out_pos: List[np.ndarray] = []
+    out_m: List[np.ndarray] = []
+    for ui in range(uniq.shape[0]):
+        m = int(uniq[ui])
+        # scan positions of the layer-m candidates, ascending (stable sort)
+        pos_m = order[starts[ui]: bounds[ui + 1]]
+        base = int(csum[m])
+        if ins_pos is not None:
+            # + already-resolved lower-layer inserts preceding each one
+            vals = (base + np.searchsorted(ins_pos, pos_m)
+                    + np.arange(pos_m.shape[0]))
+        else:
+            vals = base + np.arange(pos_m.shape[0])
+        # dominator counts along the would-be insert prefix are strictly
+        # increasing, so the prefix ends at one searchsorted
+        t = int(np.searchsorted(vals, int(limits[m]), side="left"))
+        if t:
+            take = pos_m[:t]
+            out_pos.append(take)
+            out_m.append(np.full(t, m, dtype=np.int64))
+            ins_pos = (take if ins_pos is None
+                       else np.sort(np.concatenate((ins_pos, take))))
+    if not out_pos:
+        return _EMPTY_I, _EMPTY_I
+    pos_all = np.concatenate(out_pos)
+    m_all = np.concatenate(out_m)
+    o = np.argsort(pos_all)
+    return pos_all[o], m_all[o]
+
+
+# ------------------------------------------------------------- numba (gated)
+
+#: feature flag: compile the sequential resolve with numba when available
+_NUMBA_FLAG = os.environ.get("REPRO_NUMBA", "") == "1"
+_NUMBA_KERNEL = None
+_NUMBA_TRIED = False
+
+
+def _load_numba_kernel():
+    """Compile the literal sequential insert loop; None when unavailable."""
+    global _NUMBA_KERNEL, _NUMBA_TRIED
+    if _NUMBA_TRIED:
+        return _NUMBA_KERNEL
+    _NUMBA_TRIED = True
+    try:  # pragma: no cover - exercised only on numba-equipped CI
+        import numba
+
+        @numba.njit(cache=False)
+        def _resolve(m_scan, layer_counts, allowed, k_max):
+            counts = layer_counts.copy()
+            n = m_scan.shape[0]
+            out = np.empty(n, np.int64)
+            w = 0
+            for s in range(n):
+                m = m_scan[s]
+                dc = 0
+                for layer in range(m + 1):
+                    dc += counts[layer]
+                if dc < k_max and m <= allowed[dc]:
+                    counts[m] += 1
+                    out[w] = s
+                    w += 1
+            return out[:w]
+
+        # warm the compile outside the hot path
+        _resolve(np.zeros(1, np.int64), np.zeros(1, np.int64),
+                 np.zeros(1, np.int64), 1)
+        _NUMBA_KERNEL = _resolve
+    except Exception:
+        _NUMBA_KERNEL = None
+    return _NUMBA_KERNEL
+
+
+def numba_active() -> bool:
+    """True iff ``REPRO_NUMBA=1`` and numba imported and compiled."""
+    return _NUMBA_FLAG and _load_numba_kernel() is not None
+
+
+def resolve_chunk_inserts_numba(
+    m_scan: np.ndarray, layer_counts: np.ndarray, allowed: np.ndarray,
+    k_max: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Numba-compiled sequential resolve; same contract as
+    :func:`resolve_chunk_inserts` (positions ascending, layers aligned)."""
+    kernel = _load_numba_kernel()
+    pos = kernel(m_scan, layer_counts, allowed, k_max)
+    return pos, m_scan[pos]

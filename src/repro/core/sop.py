@@ -59,7 +59,14 @@ by ``benchmarks/bench_ablations.py`` and ``benchmarks/bench_refresh.py``):
   kernel each (the pre-batching engine);
 * ``refresh_strategy="grid"`` -- batched refresh with grid-cell candidate
   pruning (``GridPrunedRefresh``); "per-point"/"batched" force the other
-  engines, "auto" (default) defers to ``use_batched_refresh``.
+  engines; "auto" (default) runs the measured batched-vs-grid crossover
+  (``AutoRefresh``), falling back to per-point when the legacy
+  ``use_batched_refresh=False`` ablation asks for it;
+* ``skyband_impl="soa"`` -- batched scans run through the vectorized
+  structure-of-arrays skyband tier (``VectorizedSkybandEngine`` over
+  ``LSkySoA``) instead of the Python-list ``LSky`` path; "object"
+  (default) is the bit-exact oracle the equivalence suites compare
+  against.
 
 All switches preserve output equality; they only trade CPU/memory.
 """
@@ -74,16 +81,19 @@ from ..baselines.base import Detector
 from ..engine.config import DetectorConfig
 from ..engine.evaluator import DueQueryEvaluator
 from ..engine.refresh import (
+    AutoRefresh,
     BatchedRefresh,
     GridPrunedRefresh,
     PerPointRefresh,
     RefreshEngine,
+    VectorizedSkybandEngine,
 )
 from ..engine.safety import SafetyTracker
 from ..metrics.profiling import RefreshProfile
 from ..streams.buffer import WindowBuffer
 from .ksky import KSkyResult, KSkyRunner
 from .lsky import LSky
+from .lsky_soa import LSkySoA, _LazySegmentsSoA
 from .parser import SkybandPlan, parse_workload
 from .point import Point
 from .queries import QueryGroup
@@ -127,9 +137,35 @@ class _PointState:
         return sky
 
 
-def _arrays_from_lsky(sky: LSky):
-    """Freeze a scan result into the per-point evidence arrays."""
-    if not sky.seqs:
+def _arrays_from_lsky(sky):
+    """Freeze a scan result (``LSky`` or ``LSkySoA``) into the per-point
+    evidence arrays; the SoA backend's arrays are adopted without copies.
+
+    A lazily-adopted segment result is converted straight from its raw
+    chunk segments -- the same single ``asarray``/``concatenate`` the
+    object path pays, with no materialization detour (``_raw`` is ``None``
+    once a mutation makes the segments stale; the materialized arrays are
+    authoritative then)."""
+    if isinstance(sky, LSkySoA):
+        if type(sky) is _LazySegmentsSoA:
+            raw = sky._raw
+            if raw is not None:
+                segs_s, segs_p, segs_l = raw
+                if len(segs_s) == 1:
+                    return (np.asarray(segs_s[0], dtype=np.int64),
+                            np.asarray(segs_p[0], dtype=np.float64),
+                            np.asarray(segs_l[0], dtype=np.int64))
+                return (np.concatenate(segs_s, dtype=np.int64),
+                        np.concatenate(segs_p, dtype=np.float64),
+                        np.concatenate(segs_l, dtype=np.int64))
+        n = sky._n
+        if not n:
+            return _EMPTY_I, _EMPTY_F, _EMPTY_I
+        raw = sky._seqs
+        if len(raw) != n:
+            return raw[:n], sky._poss[:n], sky._layers[:n]
+        return raw, sky._poss, sky._layers
+    if not len(sky.seqs):
         return _EMPTY_I, _EMPTY_F, _EMPTY_I
     return (
         np.asarray(sky.seqs, dtype=np.int64),
@@ -162,6 +198,7 @@ class SOPDetector(Detector):
         use_batched_refresh: bool = True,
         batch_min_rows: int = 8,
         refresh_strategy: str = "auto",
+        skyband_impl: str = "object",
         config: Optional[DetectorConfig] = None,
     ):
         if config is None:
@@ -174,6 +211,7 @@ class SOPDetector(Detector):
                 use_batched_refresh=use_batched_refresh,
                 batch_min_rows=batch_min_rows,
                 refresh_strategy=refresh_strategy,
+                skyband_impl=skyband_impl,
             )
         super().__init__(group, config.metric)
         #: the single source of truth for every switch and knob; persisted
@@ -187,12 +225,22 @@ class SOPDetector(Detector):
         self.use_least_examination = config.use_least_examination
         self.use_batched_refresh = config.use_batched_refresh
         self.batch_min_rows = max(1, config.batch_min_rows)
+        #: skyband state backend: None runs the object-path (Python-list
+        #: LSky) scans; a VectorizedSkybandEngine routes batched scans
+        #: through the numpy structure-of-arrays tier (identical outputs)
+        self.skyband_impl = config.skyband_impl
+        self.skyband_engine: Optional[VectorizedSkybandEngine] = (
+            VectorizedSkybandEngine(self.plan, config.chunk_size)
+            if config.skyband_impl == "soa" else None
+        )
         #: pluggable refresh strategy (see repro.engine.refresh)
         strategy = config.resolved_refresh_strategy()
         self.refresh_engine: RefreshEngine = (
             GridPrunedRefresh(self.batch_min_rows) if strategy == "grid"
             else BatchedRefresh(self.batch_min_rows)
             if strategy == "batched"
+            else AutoRefresh(self.batch_min_rows)
+            if strategy == "auto"
             else PerPointRefresh()
         )
         #: safe-for-all component (see repro.engine.safety)

@@ -16,9 +16,11 @@ explicit architecture instead of an implementation detail of one class:
 * :class:`RefreshEngine` -- the strategy interface for the K-SKY refresh
   stage, with :class:`PerPointRefresh` (one distance kernel per evaluated
   point, the paper's literal Alg. 3 loop), :class:`BatchedRefresh` (one
-  pairwise kernel per boundary chunk), and :class:`GridPrunedRefresh`
-  (batched kernels restricted to grid-cell candidate neighborhoods)
-  implementations;
+  pairwise kernel per boundary chunk), :class:`GridPrunedRefresh`
+  (batched kernels restricted to grid-cell candidate neighborhoods), and
+  :class:`AutoRefresh` (measured batched-vs-grid crossover)
+  implementations; batched scans route through
+  :class:`VectorizedSkybandEngine` when ``skyband_impl="soa"``;
 * :class:`SafetyTracker` -- the safe-for-all test (Sec. 4.1/4.2) as a
   separable component;
 * :class:`DueQueryEvaluator` -- the vectorized due-query classification
@@ -33,14 +35,17 @@ from .config import DetectorConfig
 from .evaluator import DueQueryEvaluator
 from .executor import ExecutorSubscriber, NULL_HOOKS, StreamExecutor
 from .refresh import (
+    AutoRefresh,
     BatchedRefresh,
     GridPrunedRefresh,
     PerPointRefresh,
     RefreshEngine,
+    VectorizedSkybandEngine,
 )
 from .safety import SafetyTracker
 
 __all__ = [
+    "AutoRefresh",
     "BatchedRefresh",
     "DetectorConfig",
     "DueQueryEvaluator",
@@ -51,4 +56,5 @@ __all__ = [
     "RefreshEngine",
     "SafetyTracker",
     "StreamExecutor",
+    "VectorizedSkybandEngine",
 ]

@@ -42,10 +42,17 @@ class DetectorConfig:
     #: crossover heuristic: batches smaller than this run per-point
     batch_min_rows: int = 8
     #: which K-SKY refresh engine drives the boundary scans: "per-point",
-    #: "batched", or "grid" (batched + grid-cell candidate pruning);
-    #: "auto" defers to ``use_batched_refresh`` so configs predating this
-    #: field (old checkpoints, legacy kwargs) resolve unchanged
+    #: "batched", "grid" (batched + grid-cell candidate pruning), or
+    #: "auto" -- the measured batched-vs-grid crossover
+    #: (:class:`~repro.engine.AutoRefresh`), which never picks grid in
+    #: regimes where probing shows it losing; with the legacy
+    #: ``use_batched_refresh=False`` ablation, "auto" still resolves to
+    #: the per-point engine
     refresh_strategy: str = "auto"
+    #: skyband state backend: "object" (Python-list ``LSky``, the bit-exact
+    #: oracle) or "soa" (flat numpy structure-of-arrays tier driven by the
+    #: vectorized scan engine; identical outputs, less interpreter work)
+    skyband_impl: str = "object"
     #: number of value-partitioned shards the runtime drives (1 = the
     #: classic single-executor path, byte-identical to pre-shard runs)
     shards: int = 1
@@ -81,6 +88,7 @@ class DetectorConfig:
 
     _BACKENDS = ("serial", "process", "supervised")
     _REFRESH_STRATEGIES = ("auto", "per-point", "batched", "grid")
+    _SKYBAND_IMPLS = ("object", "soa")
     _FAILURE_POLICIES = ("fail", "retry", "drop-and-flag")
 
     def __post_init__(self):
@@ -106,6 +114,11 @@ class DetectorConfig:
                 f"{self._REFRESH_STRATEGIES}, "
                 f"got {self.refresh_strategy!r}"
             )
+        if self.skyband_impl not in self._SKYBAND_IMPLS:
+            raise ValueError(
+                f"skyband_impl must be one of {self._SKYBAND_IMPLS}, "
+                f"got {self.skyband_impl!r}"
+            )
         if self.on_shard_failure not in self._FAILURE_POLICIES:
             raise ValueError(
                 f"on_shard_failure must be one of {self._FAILURE_POLICIES}, "
@@ -119,14 +132,19 @@ class DetectorConfig:
             raise ValueError("retry_backoff must be >= 0")
 
     def resolved_refresh_strategy(self) -> str:
-        """The effective refresh strategy ("per-point"/"batched"/"grid").
+        """The effective refresh strategy.
 
-        An explicit ``refresh_strategy`` wins; ``"auto"`` resolves through
-        the older ``use_batched_refresh`` ablation flag.
+        An explicit ``refresh_strategy`` wins.  ``"auto"`` now names a
+        real engine -- the measured batched-vs-grid crossover
+        (:class:`~repro.engine.AutoRefresh`) -- unless the legacy
+        ``use_batched_refresh=False`` ablation asks for the per-point
+        engine.  Both resolutions preserve outputs: every engine is
+        output-exact, so old configs (and old checkpoints, which restore
+        with ``refresh_strategy="auto"``) only change wall time.
         """
         if self.refresh_strategy != "auto":
             return self.refresh_strategy
-        return "batched" if self.use_batched_refresh else "per-point"
+        return "auto" if self.use_batched_refresh else "per-point"
 
     # -------------------------------------------------------- serialization
 

@@ -36,14 +36,40 @@ mutation generation.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.ksky import KSkyResult, _Resolution
+from ..core.lsky_soa import (
+    LSkySoA,
+    insert_limits,
+    numba_active,
+    resolve_chunk_inserts,
+    resolve_chunk_inserts_numba,
+)
 from ..index import GridCandidateIndex
 
 __all__ = ["RefreshEngine", "PerPointRefresh", "BatchedRefresh",
-           "GridPrunedRefresh"]
+           "GridPrunedRefresh", "AutoRefresh", "VectorizedSkybandEngine"]
+
+
+def _scan_rows(det, row_indexes, p_seqs, lo, cand_idx=None):
+    """Dispatch one batched scan group to the detector's skyband backend.
+
+    ``skyband_impl=soa`` detectors carry a :class:`VectorizedSkybandEngine`
+    (``det.skyband_engine``); everything else runs the object-path
+    ``KSkyRunner.scan_batched``.  Both are bit-exact for outputs, LSky
+    contents and ``examined`` -- the equivalence suite drives them in
+    lockstep -- so refresh strategies can route here without caring.
+    """
+    eng = getattr(det, "skyband_engine", None)
+    if eng is not None:
+        return eng.scan_batched(row_indexes, p_seqs, det.buffer, lo,
+                                cand_idx=cand_idx)
+    return det.runner.scan_batched(row_indexes, p_seqs, det.buffer, lo,
+                                   cand_idx=cand_idx)
 
 
 class RefreshEngine:
@@ -66,6 +92,9 @@ class RefreshEngine:
         t0 = time.perf_counter_ns()
         kernels0 = buf.kernel_calls
         examined0 = det.stats["points_examined"]
+        soa_eng = getattr(det, "skyband_engine", None)
+        if soa_eng is not None:
+            py0, soa0 = soa_eng.py_iters, soa_eng.soa_rows
 
         newest_seq = pts[-1].seq
         n_live = len(pts)
@@ -94,13 +123,25 @@ class RefreshEngine:
                 det, new_from, group, window_start, n_live, newest_seq)
 
         pruned, cells_visited = self._take_prune_stats()
+        # ``python_insert_iters``: on the object path this is the logical
+        # candidate count (== examined delta; one interpreted iteration per
+        # candidate).  The SoA engine resolves candidates with array passes,
+        # so there it reports the *actual* interpreted iterations (resolve
+        # replays + fallback visits) -- the measured interpreter-work drop.
+        if soa_eng is not None:
+            py_iters = soa_eng.py_iters - py0
+            soa_rows = soa_eng.soa_rows - soa0
+        else:
+            py_iters = det.stats["points_examined"] - examined0
+            soa_rows = 0
         det.profile.record(
             time.perf_counter_ns() - t0,
             buf.kernel_calls - kernels0,
             batch_rows,
-            det.stats["points_examined"] - examined0,
+            py_iters,
             pruned,
             cells_visited,
+            soa_insert_rows=soa_rows,
         )
 
     # ------------------------------------------------------------ interface
@@ -128,16 +169,24 @@ class PerPointRefresh(RefreshEngine):
     name = "per-point"
 
     def _scan_scratch(self, det, scratch, newest_seq) -> int:
+        eng = getattr(det, "skyband_engine", None)
         for _, p, st in scratch:
             result = det.runner.run_new_point(p.values, p.seq, det.buffer)
+            if eng is not None:
+                # per-point scans really do interpret one loop iteration
+                # per candidate; keep the SoA iteration counter honest
+                eng.py_iters += result.examined
             det._commit_scratch(p, st, result, newest_seq)
         return 0
 
     def _scan_survivors(self, det, new_from, group, window_start, n_live,
                         newest_seq) -> int:
+        eng = getattr(det, "skyband_engine", None)
         for _, p, st in group:
             scan = det.runner.scan_new_arrivals(p.values, p.seq, det.buffer,
                                                 new_from)
+            if eng is not None:
+                eng.py_iters += scan.examined
             det._commit_survivor(p, st, scan, window_start, newest_seq)
         return 0
 
@@ -159,9 +208,9 @@ class BatchedRefresh(PerPointRefresh):
         if len(scratch) < self.batch_min_rows:
             return super()._scan_scratch(det, scratch, newest_seq)
         det.stats["batched_scans"] += len(scratch)
-        results = det.runner.scan_batched(
-            [idx for idx, _, _ in scratch],
-            [p.seq for _, p, _ in scratch], det.buffer, 0)
+        results = _scan_rows(
+            det, [idx for idx, _, _ in scratch],
+            [p.seq for _, p, _ in scratch], 0)
         for (_, p, st), result in zip(scratch, results):
             det._commit_scratch(p, st, result, newest_seq)
         return len(scratch)
@@ -172,9 +221,9 @@ class BatchedRefresh(PerPointRefresh):
             return super()._scan_survivors(det, new_from, group,
                                            window_start, n_live, newest_seq)
         det.stats["batched_scans"] += len(group)
-        results = det.runner.scan_batched(
-            [idx for idx, _, _ in group],
-            [p.seq for _, p, _ in group], det.buffer, new_from)
+        results = _scan_rows(
+            det, [idx for idx, _, _ in group],
+            [p.seq for _, p, _ in group], new_from)
         for (_, p, st), scan in zip(group, results):
             det._commit_survivor(p, st, scan, window_start, newest_seq)
         return len(group)
@@ -293,10 +342,9 @@ class GridPrunedRefresh(BatchedRefresh):
         groups = self._cell_groups(det, [idx for idx, _, _ in scratch])
         for cand, idxs in groups:
             self._pruned += (hi - len(cand)) * len(idxs)
-            results = det.runner.scan_batched(
-                [scratch[i][0] for i in idxs],
-                [scratch[i][1].seq for i in idxs],
-                det.buffer, 0, cand_idx=cand)
+            results = _scan_rows(
+                det, [scratch[i][0] for i in idxs],
+                [scratch[i][1].seq for i in idxs], 0, cand_idx=cand)
             for i, result in zip(idxs, results):
                 _, p, st = scratch[i]
                 det._commit_scratch(p, st, result, newest_seq)
@@ -316,10 +364,9 @@ class GridPrunedRefresh(BatchedRefresh):
             c_lo = int(np.searchsorted(cand, new_from, side="left"))
             cand = cand[c_lo:]
             self._pruned += (span - len(cand)) * len(idxs)
-            results = det.runner.scan_batched(
-                [group[i][0] for i in idxs],
-                [group[i][1].seq for i in idxs],
-                det.buffer, new_from, cand_idx=cand)
+            results = _scan_rows(
+                det, [group[i][0] for i in idxs],
+                [group[i][1].seq for i in idxs], new_from, cand_idx=cand)
             for i, scan in zip(idxs, results):
                 _, p, st = group[i]
                 det._commit_survivor(p, st, scan, window_start, newest_seq)
@@ -327,3 +374,535 @@ class GridPrunedRefresh(BatchedRefresh):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"GridPrunedRefresh(batch_min_rows={self.batch_min_rows})"
+
+
+class AutoRefresh(RefreshEngine):
+    """Measured batched-vs-grid crossover (``refresh_strategy="auto"``).
+
+    ``BENCH_grid.json`` showed the grid engine *regressing* at r=200 on
+    small/mid windows (0.75-0.90x): the neighborhood assembly there costs
+    more than the pruned kernel volume saves.  Static heuristics over
+    (window, r) proved brittle, so auto measures instead: it starts on the
+    batched engine, probes the grid engine for a few boundaries once the
+    window is large enough to plausibly pay for pruning, and settles on
+    whichever engine's measured ns-per-scanned-row is lower, re-probing
+    periodically in case the regime drifts.  Both engines are bit-exact
+    for outputs (the lockstep suites gate that), so the choice only moves
+    wall time -- never results.
+
+    Grid eligibility additionally requires the probe to show real pruning
+    work (``candidates_pruned / batch_rows`` from the existing
+    :class:`~repro.metrics.profiling.RefreshProfile` counters): a probe
+    that pruned next to nothing can still come out ahead on noise, and the
+    recorded r=200 regressions are exactly the regime where pruning volume
+    per row is low relative to window size.
+    """
+
+    name = "auto"
+
+    #: boundaries on the batched engine before any probe (cold caches)
+    _WARMUP = 2
+    #: boundaries per probe of a non-chosen engine
+    _PROBE = 2
+    #: settled boundaries between re-probes of the other engine
+    _REPROBE = 64
+    #: never probe grid below this live-window size: BENCH_grid recorded
+    #: no grid win under ~8k windows, and tiny windows (unit tests) keep a
+    #: deterministic batched-only trace
+    _MIN_WINDOW = 4096
+    #: minimum pruned candidates per scanned row for grid to be eligible
+    _MIN_PRUNE_PER_ROW = 64.0
+    #: EMA weight of the newest cost sample
+    _ALPHA = 0.5
+
+    def __init__(self, batch_min_rows: int = 8):
+        self.batch_min_rows = max(1, batch_min_rows)
+        self._engines: Dict[str, RefreshEngine] = {
+            "batched": BatchedRefresh(self.batch_min_rows),
+            "grid": GridPrunedRefresh(self.batch_min_rows),
+        }
+        self._chosen = "batched"
+        self._boundary = 0
+        self._settled = 0
+        self._probe_queue: List[str] = []
+        self._cost: Dict[str, float] = {}
+        self._grid_eligible = False
+        #: (boundary, chosen, evidence) per decision -- observability
+        self.decisions: List[Tuple[int, str, Dict[str, object]]] = []
+
+    def refresh(self, det, window_start: float) -> None:
+        name = self._pick(det)
+        engine = self._engines[name]
+        runs0 = det.stats["ksky_runs"]
+        pruned0 = det.profile.candidates_pruned
+        t0 = time.perf_counter_ns()
+        engine.refresh(det, window_start)
+        self._observe(
+            name,
+            time.perf_counter_ns() - t0,
+            det.stats["ksky_runs"] - runs0,
+            det.profile.candidates_pruned - pruned0,
+        )
+        self._boundary += 1
+
+    # ------------------------------------------------------------- decisions
+
+    def _pick(self, det) -> str:
+        if len(det.buffer) < self._MIN_WINDOW:
+            return "batched"
+        if self._boundary < self._WARMUP:
+            return "batched"
+        if self._probe_queue:
+            return self._probe_queue[0]
+        if "grid" not in self._cost:
+            self._probe_queue = ["grid"] * self._PROBE
+            return "grid"
+        self._settled += 1
+        if self._settled >= self._REPROBE:
+            self._settled = 0
+            other = "batched" if self._chosen == "grid" else "grid"
+            if other == "batched" or self._grid_eligible:
+                self._probe_queue = [other] * self._PROBE
+                return other
+        return self._chosen
+
+    def _observe(self, name: str, ns: int, rows: int, pruned: int) -> None:
+        if rows > 0:
+            cost = ns / rows
+            prev = self._cost.get(name)
+            self._cost[name] = (cost if prev is None
+                                else (1 - self._ALPHA) * prev
+                                + self._ALPHA * cost)
+            if name == "grid":
+                self._grid_eligible = (
+                    pruned / rows >= self._MIN_PRUNE_PER_ROW)
+        if self._probe_queue and self._probe_queue[0] == name:
+            self._probe_queue.pop(0)
+            if not self._probe_queue:
+                self._decide()
+
+    def _decide(self) -> None:
+        g = self._cost.get("grid")
+        b = self._cost.get("batched")
+        choice = ("grid" if g is not None and b is not None
+                  and self._grid_eligible and g < b else "batched")
+        self._chosen = choice
+        self._settled = 0
+        self.decisions.append((self._boundary, choice, {
+            "grid_ns_per_row": g,
+            "batched_ns_per_row": b,
+            "grid_eligible": self._grid_eligible,
+        }))
+
+    def _take_prune_stats(self) -> Tuple[int, int]:  # pragma: no cover
+        # never called: refresh() delegates wholesale to the sub-engines,
+        # which record their own profile samples (prune stats included)
+        return 0, 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AutoRefresh(chosen={self._chosen!r}, "
+                f"batch_min_rows={self.batch_min_rows})")
+
+
+# ----------------------------------------------------- vectorized SoA backend
+
+
+class _SoaRow:
+    """Per-evaluated-point scan state for :class:`VectorizedSkybandEngine`.
+
+    Entries accumulate as bulk array segments (one per contributing
+    chunk); the sorted layer multiset and per-layer counts are maintained
+    incrementally so ``_Resolution`` sees exactly the state the object
+    path would give it (its ``on_insert``/``check`` duck-type against
+    ``_sorted_layers``/``dominator_count``).
+    """
+
+    __slots__ = ("resolution", "_sorted_layers", "counts",
+                 "segs_s", "segs_p", "segs_l", "n", "thresh")
+
+    def __init__(self, resolution: _Resolution, n_layers: int):
+        self.resolution = resolution
+        self._sorted_layers: List[int] = []
+        self.counts = [0] * n_layers
+        self.segs_s: List = []
+        self.segs_p: List = []
+        self.segs_l: List = []
+        self.n = 0
+        #: cached per-chunk insert threshold (k_max-th smallest layer)
+        self.thresh = n_layers
+
+    def dominator_count(self, layer: int) -> int:
+        return bisect_right(self._sorted_layers, layer)
+
+    def finalize(self, n_layers: int) -> LSkySoA:
+        # segments may be numpy arrays (vectorized chunks) or plain lists
+        # (the int fast paths); the lazy adoption converts whichever on
+        # first read, so finalize itself never touches numpy
+        if not self.segs_s:
+            return LSkySoA(n_layers)
+        return LSkySoA.adopt_segments(n_layers, self.segs_s, self.segs_p,
+                                      self.segs_l, self.n)
+
+
+class VectorizedSkybandEngine:
+    """``KSkyRunner.scan_batched``, rebuilt over the SoA skyband tier.
+
+    The contract is bit-exactness with the object path: same chunk
+    boundaries (anchored at the buffer top), same insert decisions, same
+    termination candidates, same ``examined`` arithmetic, same
+    ``distance_rows`` -- ``tests/test_lsky_soa.py`` drives both engines in
+    lockstep over the Table 1 grid and asserts entry-for-entry equality.
+    What changes is *how* the per-candidate resolve loop runs:
+
+    * per-chunk candidate selection, the zero-candidate fold, and the
+      per-row threshold gather are whole-array passes;
+    * multi-layer insert sets come from
+      :func:`~repro.core.lsky_soa.resolve_chunk_inserts` (the per-layer
+      prefix argument; see that module's docstring) -- or, behind
+      ``REPRO_NUMBA=1``, from a compiled sequential kernel -- and only the
+      (small, bounded by ``k_max * n_layers``) insert sequence is replayed
+      through the real ``_Resolution`` to find the exact termination cut;
+    * inserted entries land in the skyband as bulk array segments
+      (``soa_rows`` counts them), not per-entry appends.
+
+    ``py_iters`` counts the interpreted iterations actually spent
+    (replays, small-chunk fallback visits, per-row-chunk visits); the
+    profile reports it as ``python_insert_iters`` for SoA detectors, which
+    is the before/after interpreter-work measurement in BENCH_grid.json.
+    """
+
+    #: below this many selected candidates, a sequential replay of the
+    #: object inner loop beats the argsort/searchsorted passes
+    _SEQ_LIMIT = 16
+
+    def __init__(self, plan, chunk_size: int = 256):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.plan = plan
+        self.chunk_size = chunk_size
+        self.by_time = plan.kind == "time"
+        self._pending = [(sg.min_layer, sg.k) for sg in plan.subgroups]
+        self._limits = insert_limits(plan.allowed_layer, plan.k_max,
+                                     plan.n_layers)
+        self._allowed_arr = np.asarray(plan.allowed_layer, dtype=np.int64)
+        self._numba = numba_active()
+        #: interpreted resolve iterations (the SoA python_insert_iters)
+        self.py_iters = 0
+        #: skyband entries committed through bulk array appends
+        self.soa_rows = 0
+
+    def _result(self, state: _SoaRow, examined: int, terminated: bool,
+                resolved: bool) -> KSkyResult:
+        return KSkyResult(
+            lsky=state.finalize(self.plan.n_layers),
+            examined=examined,
+            terminated_early=terminated,
+            resolved_all=resolved,
+        )
+
+    def scan_batched(
+        self,
+        row_indexes: Sequence[int],
+        p_seqs: Sequence[int],
+        buffer,
+        lo: int,
+        cand_idx: Optional[np.ndarray] = None,
+    ) -> List[KSkyResult]:
+        plan = self.plan
+        n_layers = plan.n_layers
+        k_max = plan.k_max
+        allowed = plan.allowed_layer
+        limits = self._limits
+        chunk = self.chunk_size
+        hi = len(buffer)
+        n = len(p_seqs)
+        mat = buffer.matrix()
+        seq_arr = buffer.seq_array()
+        pos_arr = buffer.pos_array(self.by_time)
+        # python-list twins for the int fast paths (cached on the buffer,
+        # same objects the object engine indexes)
+        seqs_list = buffer.seqs()
+        poss_list = buffer.positions(self.by_time)
+        row_idx = np.asarray(row_indexes, dtype=np.int64)
+
+        rows = [_SoaRow(_Resolution(plan, self._pending), n_layers)
+                for _ in range(n)]
+        examined = [0] * n
+        results: List[Optional[KSkyResult]] = [None] * n
+        active = list(range(n))
+        single = (n_layers == 1 and bool(self._pending)
+                  and len(self._pending) <= _Resolution._EXACT_LIMIT)
+        n_chunks = -(-(hi - lo) // chunk) if hi > lo else 0
+        if cand_idx is None:
+            offs = cand_arr = cand_mat = cand_list = None
+        else:
+            edges = np.maximum(hi - chunk * np.arange(n_chunks + 1), lo)
+            offs = np.searchsorted(cand_idx, edges, side="left").tolist()
+            cand_arr = cand_idx
+            cand_list = cand_idx.tolist()
+            cand_mat = mat[cand_idx] if cand_list else None
+        q_mat: Optional[np.ndarray] = None
+        i = 0
+        while i < n_chunks and active:
+            block_hi = hi - i * chunk
+            block_lo = max(lo, block_hi - chunk)
+            width = block_hi - block_lo
+            c_base = 0
+            if offs is None:
+                n_cols = width
+            else:
+                c_base = offs[i + 1]
+                n_cols = offs[i] - c_base
+                if n_cols == 0:
+                    # candidate-free run: fold into examined arithmetic,
+                    # exactly like the object engine (see its docstring)
+                    if c_base == 0:
+                        nxt_i = n_chunks
+                    else:
+                        nxt_i = (hi - 1 - int(cand_arr[c_base - 1])) // chunk
+                    run_lo = max(lo, hi - nxt_i * chunk)
+                    still = []
+                    for row in active:
+                        self_idx = row_indexes[row]
+                        if rows[row].resolution.pending:
+                            examined[row] += (block_hi - run_lo) - (
+                                1 if run_lo <= self_idx < block_hi else 0)
+                            still.append(row)
+                            continue
+                        examined[row] += width - (
+                            1 if block_lo <= self_idx < block_hi else 0)
+                        results[row] = self._result(
+                            rows[row], examined[row], True, True)
+                    if len(still) != len(active):
+                        q_mat = None
+                    active = still
+                    i = nxt_i
+                    continue
+            if q_mat is None:
+                q_mat = mat[row_idx[active]]
+            if offs is None:
+                dists = buffer.pairwise_block(q_mat, block_lo, block_hi)
+            else:
+                dists = buffer.pairwise_gathered(
+                    q_mat, cand_mat[c_base:c_base + n_cols])
+            lmat = plan.grid.layers_of(dists)
+            n_act = len(active)
+            thresh = np.fromiter((rows[r].thresh for r in active),
+                                 dtype=np.int64, count=n_act)
+            rows_nz, js_nz = np.nonzero(lmat < thresh[:, None])
+            seg_list = np.searchsorted(
+                rows_nz, np.arange(n_act + 1)).tolist()
+            js_all = js_nz.tolist()
+            ms_all = None if single else lmat[rows_nz, js_nz].tolist()
+            # degenerate empty sub-group template: the object path
+            # terminates such rows at the first boundary check, which the
+            # zero-selection skip below would elide -- disable the skip
+            skip_empty = bool(self._pending)
+            py_iters = 0
+            soa_rows = 0
+            still = []
+            for a, row in enumerate(active):
+                lo_s = seg_list[a]
+                hi_s = seg_list[a + 1]
+                self_idx = row_indexes[row]
+                if lo_s == hi_s and skip_empty:
+                    # no below-threshold candidate: rejections never
+                    # mutate scan state, and without an insert the
+                    # boundary resolution check is elided -- the whole
+                    # chunk folds into examined arithmetic
+                    examined[row] += width - (
+                        1 if block_lo <= self_idx < block_hi else 0)
+                    still.append(row)
+                    continue
+                state = rows[row]
+                resolution = state.resolution
+                terminated = False
+                inserted = False
+                jt = 0
+                py_iters += 1
+                if offs is None:
+                    j_self = self_idx - block_lo
+                    if not 0 <= j_self < width:
+                        j_self = -1
+                elif block_lo <= self_idx < block_hi:
+                    p = bisect_left(cand_list, self_idx, c_base,
+                                    c_base + n_cols)
+                    j_self = (p - c_base if p < c_base + n_cols
+                              and cand_list[p] == self_idx else -1)
+                else:
+                    j_self = -1
+                if single:
+                    # fixed-r bulk take: the newest `k_max - n` selected
+                    # candidates, terminating at the k_max-th insert (same
+                    # collapse, and the same int walk, as the object
+                    # engine's single-layer path -- only the commit is a
+                    # bulk segment append instead of four list.extends)
+                    need = k_max - state.n
+                    take: List[int] = []
+                    ii = hi_s - 1
+                    while ii >= lo_s and len(take) < need:
+                        j = js_all[ii]
+                        if j != j_self:
+                            take.append(block_lo + j if offs is None
+                                        else cand_list[c_base + j])
+                        ii -= 1
+                    if take:
+                        t = len(take)
+                        segs_s = state.segs_s
+                        if t > 32:
+                            live = np.asarray(take, dtype=np.int64)
+                            segs_s.append(seq_arr[live])
+                            state.segs_p.append(pos_arr[live])
+                            state.segs_l.append(
+                                np.zeros(t, dtype=np.int64))
+                        elif segs_s and type(segs_s[-1]) is list:
+                            # coalesce into the trailing list segment:
+                            # rows that collect entries a few per chunk
+                            # (small-r regimes) stay single-segment, so
+                            # adoption is one asarray, not a concat chain
+                            segs_s[-1].extend(
+                                [seqs_list[x] for x in take])
+                            state.segs_p[-1].extend(
+                                [poss_list[x] for x in take])
+                            state.segs_l[-1].extend([0] * t)
+                        else:
+                            segs_s.append(
+                                [seqs_list[x] for x in take])
+                            state.segs_p.append(
+                                [poss_list[x] for x in take])
+                            state.segs_l.append([0] * t)
+                        state.n += t
+                        state._sorted_layers.extend([0] * t)
+                        state.counts[0] += t
+                        inserted = True
+                        soa_rows += t
+                        if t == need:
+                            resolution.pending = []
+                            terminated = True
+                            jt = take[-1] - block_lo
+                elif hi_s - lo_s <= self._SEQ_LIMIT:
+                    # small chunk: the sequential inner loop is cheaper
+                    # than the array passes; it is the object loop verbatim
+                    sl = state._sorted_layers
+                    counts = state.counts
+                    on_insert = resolution.on_insert
+                    app_idx: List[int] = []
+                    app_m: List[int] = []
+                    for ii in range(hi_s - 1, lo_s - 1, -1):
+                        j = js_all[ii]
+                        if j == j_self:
+                            continue
+                        idx = (block_lo + j if offs is None
+                               else cand_list[c_base + j])
+                        py_iters += 1
+                        m = ms_all[ii]
+                        c = bisect_right(sl, m)
+                        if c < k_max and m <= allowed[c]:
+                            app_idx.append(idx)
+                            app_m.append(m)
+                            insort(sl, m)
+                            counts[m] += 1
+                            inserted = True
+                            if on_insert(state, m):
+                                terminated = True
+                                jt = idx - block_lo
+                                break
+                    if app_idx:
+                        segs_s = state.segs_s
+                        if segs_s and type(segs_s[-1]) is list:
+                            segs_s[-1].extend(
+                                [seqs_list[x] for x in app_idx])
+                            state.segs_p[-1].extend(
+                                [poss_list[x] for x in app_idx])
+                            state.segs_l[-1].extend(app_m)
+                        else:
+                            segs_s.append(
+                                [seqs_list[x] for x in app_idx])
+                            state.segs_p.append(
+                                [poss_list[x] for x in app_idx])
+                            state.segs_l.append(app_m)
+                        state.n += len(app_idx)
+                        soa_rows += len(app_idx)
+                else:
+                    # vectorized resolve: compute the untruncated insert
+                    # set with array passes, then replay it through the
+                    # real _Resolution to find the exact termination cut
+                    js = js_nz[lo_s:hi_s]
+                    if j_self >= 0:
+                        js = js[js != j_self]
+                    js_desc = js[::-1]
+                    m_scan = lmat[a][js_desc]
+                    counts_arr = np.asarray(state.counts, dtype=np.int64)
+                    if self._numba:
+                        pos, ins_m = resolve_chunk_inserts_numba(
+                            m_scan, counts_arr, self._allowed_arr, k_max)
+                    else:
+                        pos, ins_m = resolve_chunk_inserts(
+                            m_scan, counts_arr, limits)
+                    if len(pos):
+                        cols = js_desc[pos]
+                        live = (block_lo + cols if offs is None
+                                else cand_arr[c_base + cols])
+                        sl = state._sorted_layers
+                        counts = state.counts
+                        on_insert = resolution.on_insert
+                        cut = len(pos)
+                        for t_i in range(cut):
+                            m = int(ins_m[t_i])
+                            insort(sl, m)
+                            counts[m] += 1
+                            inserted = True
+                            py_iters += 1
+                            if on_insert(state, m):
+                                terminated = True
+                                cut = t_i + 1
+                                jt = int(live[t_i]) - block_lo
+                                break
+                        live = live[:cut]
+                        state.segs_s.append(seq_arr[live])
+                        state.segs_p.append(pos_arr[live])
+                        state.segs_l.append(
+                            np.ascontiguousarray(ins_m[:cut]))
+                        state.n += cut
+                        soa_rows += cut
+                sl = state._sorted_layers
+                state.thresh = (sl[k_max - 1] if k_max <= len(sl)
+                                else n_layers)
+                self_rel = self_idx - block_lo
+                self_in = 0 <= self_rel < width
+                if terminated:
+                    examined[row] += (width - jt) - (
+                        1 if self_in and self_rel > jt else 0)
+                    results[row] = self._result(
+                        state, examined[row], True,
+                        resolution.done or resolution.check(state))
+                    continue
+                examined[row] += width - (1 if self_in else 0)
+                if inserted:
+                    if resolution.check(state):
+                        results[row] = self._result(
+                            state, examined[row], True,
+                            resolution.done)
+                        continue
+                elif not resolution.pending:
+                    results[row] = self._result(
+                        state, examined[row], True, True)
+                    continue
+                still.append(row)
+            self.py_iters += py_iters
+            self.soa_rows += soa_rows
+            if len(still) != len(active):
+                q_mat = None
+            active = still
+            i += 1
+        for row in active:
+            state = rows[row]
+            resolution = state.resolution
+            results[row] = self._result(
+                state, examined[row], False,
+                resolution.done or resolution.check(state))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"VectorizedSkybandEngine(chunk_size={self.chunk_size}, "
+                f"numba={self._numba})")

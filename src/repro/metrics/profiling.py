@@ -11,11 +11,18 @@ that -- and to keep it provable as the code evolves --
   pairwise tile);
 * ``batch_rows`` -- evaluated points whose scan went through the batched
   pairwise kernel (0 on the per-point path);
-* ``python_insert_iters`` -- candidates examined by the skyband scans (the
-  paper's ``L``); the per-point path spends one Python loop iteration per
+* ``python_insert_iters`` -- interpreted skyband-scan iterations.  On the
+  object-path engines this is the candidates examined by the scans (the
+  paper's ``L``): the per-point path spends one Python loop iteration per
   candidate, the batched path prunes provably-rejected candidates
-  vectorized, so this counter is path-independent while the interpreter
-  work it represents is not;
+  vectorized, so there the counter is path-independent while the
+  interpreter work it represents is not.  With ``skyband_impl="soa"`` the
+  vectorized engine resolves candidates in array passes, and the counter
+  reports the interpreted iterations *actually* spent (resolve replays +
+  small-chunk fallback visits) -- the before/after interpreter-work
+  measurement tracked in BENCH_grid.json;
+* ``soa_insert_rows`` -- skyband entries committed through the SoA
+  engine's bulk array appends (0 on the object path);
 * ``candidates_pruned`` -- candidate columns the grid-pruned refresh
   engine kept out of the pairwise kernels entirely (0 on the unpruned
   paths); ``python_insert_iters`` still counts them -- pruning shrinks
@@ -37,8 +44,9 @@ from typing import Dict, List, Tuple
 __all__ = ["RefreshProfile"]
 
 #: one per-boundary sample: (refresh_ns, kernel_launches, batch_rows,
-#: python_insert_iters, candidates_pruned, kernel_cells_visited)
-BoundarySample = Tuple[int, int, int, int, int, int]
+#: python_insert_iters, candidates_pruned, kernel_cells_visited,
+#: soa_insert_rows)
+BoundarySample = Tuple[int, int, int, int, int, int, int]
 
 
 class RefreshProfile:
@@ -46,7 +54,8 @@ class RefreshProfile:
 
     __slots__ = ("boundaries", "refresh_ns", "kernel_launches", "batch_rows",
                  "python_insert_iters", "candidates_pruned",
-                 "kernel_cells_visited", "samples", "keep_samples")
+                 "kernel_cells_visited", "soa_insert_rows", "samples",
+                 "keep_samples")
 
     def __init__(self, keep_samples: bool = True):
         self.boundaries: int = 0
@@ -56,13 +65,15 @@ class RefreshProfile:
         self.python_insert_iters: int = 0
         self.candidates_pruned: int = 0
         self.kernel_cells_visited: int = 0
+        self.soa_insert_rows: int = 0
         self.keep_samples = keep_samples
         #: per-boundary samples (only when ``keep_samples``)
         self.samples: List[BoundarySample] = []
 
     def record(self, refresh_ns: int, kernel_launches: int, batch_rows: int,
                python_insert_iters: int, candidates_pruned: int = 0,
-               kernel_cells_visited: int = 0) -> None:
+               kernel_cells_visited: int = 0,
+               soa_insert_rows: int = 0) -> None:
         """Record one refreshed boundary."""
         self.boundaries += 1
         self.refresh_ns += refresh_ns
@@ -71,11 +82,12 @@ class RefreshProfile:
         self.python_insert_iters += python_insert_iters
         self.candidates_pruned += candidates_pruned
         self.kernel_cells_visited += kernel_cells_visited
+        self.soa_insert_rows += soa_insert_rows
         if self.keep_samples:
             self.samples.append(
                 (refresh_ns, kernel_launches, batch_rows,
                  python_insert_iters, candidates_pruned,
-                 kernel_cells_visited)
+                 kernel_cells_visited, soa_insert_rows)
             )
 
     # ------------------------------------------------------------ summaries
@@ -104,6 +116,7 @@ class RefreshProfile:
             "python_insert_iters": self.python_insert_iters,
             "candidates_pruned": self.candidates_pruned,
             "kernel_cells_visited": self.kernel_cells_visited,
+            "soa_insert_rows": self.soa_insert_rows,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

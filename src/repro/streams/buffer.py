@@ -61,6 +61,9 @@ class WindowBuffer:
         self._seq_list: Optional[List[int]] = None
         self._pos_seq_list: Optional[List[float]] = None
         self._pos_time_list: Optional[List[float]] = None
+        # cached float64 positions of the live region (count-based
+        # windows); the vectorized skyband engine gathers from it
+        self._pos_seq_arr: Optional[np.ndarray] = None
         #: total points ever appended (monotone; never reset) -- attached
         #: grid indexes use it as an absolute position axis that survives
         #: eviction and compaction
@@ -142,6 +145,30 @@ class WindowBuffer:
                     self._seqs[self._start:self._len]
                     .astype(np.float64).tolist())
         return self._pos_seq_list
+
+    def seq_array(self) -> np.ndarray:
+        """Live-region sequence numbers as an int64 array (a view into the
+        backing storage -- read-only, valid until the next mutation)."""
+        if self._seqs is None or self._start >= self._len:
+            return np.empty(0, dtype=np.int64)
+        return self._seqs[self._start: self._len]
+
+    def pos_array(self, by_time: bool) -> np.ndarray:
+        """Live-region window positions as a float64 array.
+
+        Same values as :meth:`positions` (``time`` for time-based windows,
+        ``float(seq)`` for count-based ones); the count-based conversion
+        is cached per buffer epoch.  Read-only, valid until the next
+        mutation.
+        """
+        if self._start >= self._len or self._seqs is None:
+            return np.empty(0, dtype=np.float64)
+        if by_time:
+            return self._times[self._start: self._len]
+        if self._pos_seq_arr is None:
+            self._pos_seq_arr = (
+                self._seqs[self._start: self._len].astype(np.float64))
+        return self._pos_seq_arr
 
     # --------------------------------------------------------------- mutation
 
@@ -253,6 +280,7 @@ class WindowBuffer:
         self._seq_list = None
         self._pos_seq_list = None
         self._pos_time_list = None
+        self._pos_seq_arr = None
 
     # ---------------------------------------------------------------- lookup
 

@@ -116,3 +116,43 @@ class TestIntrospection:
     def test_entries_iteration(self):
         sky = build([(9, 1), (8, 0)])
         assert list(sky.entries()) == [(9, 9.0, 1), (8, 8.0, 0)]
+
+
+class TestIntrospectionCaching:
+    """layer_buckets()/layer_cardinalities() are cached keyed on entry
+    count; every mutation path -- insert, extend_older, and the batched
+    scan's direct list appends -- must be reflected in the next call."""
+
+    def test_cache_refreshes_after_insert(self):
+        sky = build([(9, 1), (8, 0)])
+        assert sky.layer_buckets() == {0: [8], 1: [9]}
+        assert sky.layer_cardinalities() == {0: 1, 1: 1}
+        sky.insert(5, 5.0, 1)
+        assert sky.layer_buckets() == {0: [8], 1: [5, 9]}
+        assert sky.layer_cardinalities() == {0: 1, 1: 2}
+
+    def test_cache_refreshes_after_extend_older(self):
+        sky = build([(9, 1)])
+        assert sky.layer_cardinalities() == {1: 1}
+        sky.extend_older([(7, 7.0, 0), (4, 4.0, 1)])
+        assert sky.layer_buckets() == {0: [7], 1: [4, 9]}
+        assert sky.layer_cardinalities() == {0: 1, 1: 2}
+
+    def test_cache_refreshes_after_direct_append(self):
+        # the batched K-SKY scan appends to the raw lists (bypassing
+        # insert); the count-keyed cache must notice
+        sky = build([(9, 1)])
+        assert sky.layer_buckets() == {1: [9]}
+        sky.seqs.append(3)
+        sky.poss.append(3.0)
+        sky.layers.append(0)
+        sky._sorted_layers.insert(0, 0)
+        assert sky.layer_buckets() == {0: [3], 1: [9]}
+        assert sky.layer_cardinalities() == {0: 1, 1: 1}
+
+    def test_cached_values_are_defensive_copies(self):
+        sky = build([(9, 1), (8, 0)])
+        sky.layer_buckets()[1].append(999)
+        sky.layer_cardinalities()[0] = 999
+        assert sky.layer_buckets() == {0: [8], 1: [9]}
+        assert sky.layer_cardinalities() == {0: 1, 1: 1}

@@ -1,0 +1,393 @@
+"""SoA skyband tier: object-vs-array equivalence gates.
+
+Three layers of defense, mirroring the house lockstep style:
+
+* property tests drive :class:`LSky` and :class:`LSkySoA` through random
+  insert/extend_older interleavings and compare every observable;
+* the vectorized resolve (`insert_limits` + `resolve_chunk_inserts`) is
+  checked against a literal sequential reference loop;
+* full-detector lockstep runs every Table 1 spec with
+  ``skyband_impl="object"`` and ``"soa"`` side by side, asserting
+  per-boundary output, evidence, and work-stat equality -- including
+  crash+resume through checkpoints that restore the SoA config.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AutoRefresh,
+    DetectorConfig,
+    LSky,
+    LSkySoA,
+    SOPDetector,
+    make_synthetic_points,
+)
+from repro.bench import build_workload, default_ranges
+from repro.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.lsky_soa import (
+    insert_limits,
+    numba_active,
+    resolve_chunk_inserts,
+    resolve_chunk_inserts_numba,
+)
+from repro.streams.source import batches_by_boundary
+
+# --------------------------------------------------------- structure twins
+
+
+def _observables(sky, n_layers, probe_seqs, probe_poss):
+    """Every queryable fact about a skyband, python-typed."""
+    return {
+        "len": len(sky),
+        "entries": [tuple(e) for e in sky.entries()],
+        "dominators": [sky.dominator_count(m)
+                       for m in range(-1, n_layers + 2)],
+        "kdist": [sky.k_distance_layer(k) for k in range(1, len(sky) + 2)],
+        "succ": [list(sky.succ_layers(s)) for s in probe_seqs],
+        "within": [sky.count_within(m, p, cap)
+                   for m in range(n_layers)
+                   for p in probe_poss
+                   for cap in (1, 3, 10**9)],
+        "unexpired": [[tuple(e) for e in sky.unexpired_entries(p)]
+                      for p in probe_poss],
+        "buckets": sky.layer_buckets(),
+        "cards": sky.layer_cardinalities(),
+    }
+
+
+@st.composite
+def _skyband_script(draw):
+    """(n_layers, ops): ops are single inserts or extend_older batches."""
+    n_layers = draw(st.integers(1, 5))
+    n_entries = draw(st.integers(0, 40))
+    seqs = sorted(draw(st.lists(st.integers(0, 10_000), min_size=n_entries,
+                                max_size=n_entries, unique=True)),
+                  reverse=True)
+    ops = []
+    i = 0
+    while i < len(seqs):
+        batch = draw(st.integers(1, 6))
+        chunk = [(s, float(draw(st.integers(0, 500))),
+                  draw(st.integers(0, n_layers - 1)))
+                 for s in seqs[i: i + batch]]
+        kind = draw(st.sampled_from(["insert", "extend"]))
+        if kind == "insert":
+            ops.extend(("insert", e) for e in chunk)
+        else:
+            ops.append(("extend", chunk))
+        i += batch
+    return n_layers, ops
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_skyband_script())
+def test_soa_matches_object_under_interleavings(script):
+    n_layers, ops = script
+    obj, soa = LSky(n_layers), LSkySoA(n_layers)
+    for kind, payload in ops:
+        if kind == "insert":
+            seq, pos, layer = payload
+            obj.insert(seq, pos, layer)
+            soa.insert(seq, pos, layer)
+        else:
+            obj.extend_older(payload)
+            soa.extend_older(payload)
+        probe_seqs = [-1, 0, 5_000, 10_001] + [e[0] for e in obj.entries()]
+        probe_poss = [-1.0, 0.0, 250.0, 501.0]
+        assert (_observables(obj, n_layers, probe_seqs, probe_poss)
+                == _observables(soa, n_layers, probe_seqs, probe_poss))
+
+
+@pytest.mark.parametrize("cls", [LSky, LSkySoA])
+def test_validation_parity(cls):
+    with pytest.raises(ValueError):
+        cls(0)
+    sky = cls(3)
+    sky.insert(10, 10.0, 1)
+    with pytest.raises(ValueError, match="descending"):
+        sky.insert(10, 10.0, 0)
+    with pytest.raises(ValueError, match="descending"):
+        sky.insert(11, 11.0, 0)
+    with pytest.raises(ValueError, match="out of range"):
+        sky.insert(5, 5.0, 3)
+    with pytest.raises(ValueError, match="out of range"):
+        sky.insert(5, 5.0, -1)
+    with pytest.raises(ValueError, match="strictly older"):
+        sky.extend_older([(10, 10.0, 0)])
+    with pytest.raises(ValueError, match="seq-descending"):
+        sky.extend_older([(8, 8.0, 0), (9, 9.0, 0)])
+    with pytest.raises(ValueError, match="out of range"):
+        sky.extend_older([(8, 8.0, 0), (7, 7.0, 5)])
+    with pytest.raises(ValueError):
+        sky.k_distance_layer(0)
+    sky.extend_older([])  # no-op, no error
+    assert len(sky) == 1
+
+
+def test_from_parts_adopts_arrays():
+    seqs = np.array([9, 7, 4], dtype=np.int64)
+    poss = np.array([9.0, 7.0, 4.0])
+    layers = np.array([1, 0, 1], dtype=np.int64)
+    sky = LSkySoA.from_parts(3, seqs, poss, layers)
+    assert [tuple(e) for e in sky.entries()] == [
+        (9, 9.0, 1), (7, 7.0, 0), (4, 4.0, 1)]
+    assert sky.dominator_count(0) == 1
+    assert sky.dominator_count(1) == 3
+    assert sky.layer_cardinalities() == {0: 1, 1: 2}
+
+
+def test_soa_cache_invalidation_across_mutation():
+    sky = LSkySoA(3)
+    sky.insert(9, 9.0, 0)
+    assert sky.layer_buckets() == {0: [9]}
+    assert sky.layer_cardinalities() == {0: 1}
+    sky.insert(7, 7.0, 1)
+    assert sky.layer_buckets() == {0: [9], 1: [7]}
+    sky.extend_older([(5, 5.0, 1), (3, 3.0, 0)])
+    assert sky.layer_buckets() == {0: [3, 9], 1: [5, 7]}
+    assert sky.layer_cardinalities() == {0: 2, 1: 2}
+    assert sky.dominator_count(0) == 2
+    sky.extend_arrays(np.array([1], dtype=np.int64), np.array([1.0]),
+                      np.array([2], dtype=np.int64))
+    assert sky.layer_cardinalities() == {0: 2, 1: 2, 2: 1}
+    assert sky.k_distance_layer(5) == 2
+
+
+# --------------------------------------------------- vectorized resolve
+
+
+def _sequential_resolve(m_scan, layer_counts, allowed, k_max):
+    """The literal Alg. 2 insert loop -- the oracle for the resolve."""
+    counts = list(layer_counts)
+    out = []
+    for s, m in enumerate(m_scan):
+        dc = sum(counts[: m + 1])
+        if dc < k_max and m <= allowed[dc]:
+            counts[m] += 1
+            out.append(s)
+    return out
+
+
+@st.composite
+def _resolve_case(draw):
+    n_layers = draw(st.integers(1, 6))
+    k_max = draw(st.integers(1, 8))
+    # allowed_layer is a suffix max in the plan => nonincreasing
+    allowed = sorted(
+        draw(st.lists(st.integers(0, n_layers - 1), min_size=k_max,
+                      max_size=k_max)), reverse=True)
+    m_scan = draw(st.lists(st.integers(0, n_layers - 1), max_size=60))
+    counts = draw(st.lists(st.integers(0, 4), min_size=n_layers,
+                           max_size=n_layers))
+    return n_layers, k_max, allowed, m_scan, counts
+
+
+@settings(max_examples=200, deadline=None)
+@given(_resolve_case())
+def test_resolve_matches_sequential_loop(case):
+    n_layers, k_max, allowed, m_scan, counts = case
+    limits = insert_limits(allowed, k_max, n_layers)
+    m_arr = np.asarray(m_scan, dtype=np.int64)
+    c_arr = np.asarray(counts, dtype=np.int64)
+    pos, layers = resolve_chunk_inserts(m_arr, c_arr, limits)
+    expect = _sequential_resolve(m_scan, counts, allowed, k_max)
+    assert pos.tolist() == expect
+    assert layers.tolist() == [m_scan[p] for p in expect]
+    # the input counts must not be mutated by the resolve
+    assert c_arr.tolist() == counts
+
+
+def test_insert_limits_closed_form():
+    # allowed = [2, 2, 1, 0]: layer 0 admitted while c < 4 (= k_max),
+    # layer 1 while c < 3, layer 2 while c < 2, layer 3 never
+    limits = insert_limits([2, 2, 1, 0], k_max=4, n_layers=4)
+    assert limits.tolist() == [4, 3, 2, 0]
+
+
+@pytest.mark.skipif(not numba_active(),
+                    reason="numba unavailable or REPRO_NUMBA!=1")
+@settings(max_examples=50, deadline=None)
+@given(_resolve_case())
+def test_numba_resolve_matches_numpy(case):  # pragma: no cover
+    n_layers, k_max, allowed, m_scan, counts = case
+    limits = insert_limits(allowed, k_max, n_layers)
+    m_arr = np.asarray(m_scan, dtype=np.int64)
+    c_arr = np.asarray(counts, dtype=np.int64)
+    a_arr = np.asarray(allowed, dtype=np.int64)
+    pos_np, lay_np = resolve_chunk_inserts(m_arr, c_arr, limits)
+    pos_nb, lay_nb = resolve_chunk_inserts_numba(m_arr, c_arr, a_arr, k_max)
+    assert pos_np.tolist() == pos_nb.tolist()
+    assert lay_np.tolist() == lay_nb.tolist()
+
+
+# --------------------------------------------- full-detector lockstep
+
+
+def _stream(n=1500, seed=9):
+    return make_synthetic_points(n, dim=2, outlier_rate=0.04, seed=seed)
+
+
+def _evidence(det):
+    out = {}
+    for seq, st_ in det._states.items():
+        if st_.seqs is None:
+            out[seq] = (None, st_.fully_safe)
+        else:
+            out[seq] = ((st_.seqs.tolist(), st_.poss.tolist(),
+                         st_.layers.tolist()), st_.fully_safe)
+    return out
+
+
+def _lockstep_impls(group, points, strategy):
+    dets = {impl: SOPDetector(group, config=DetectorConfig(
+        refresh_strategy=strategy, skyband_impl=impl))
+        for impl in ("object", "soa")}
+    ref = dets["object"]
+    for t, batch in batches_by_boundary(points, group.swift.slide,
+                                        group.kind):
+        outs = {impl: d.step(t, batch) for impl, d in dets.items()}
+        assert outs["soa"] == outs["object"], f"outputs diverge at t={t}"
+        assert _evidence(dets["soa"]) == _evidence(ref), (
+            f"LSky contents diverge at t={t}")
+        assert dets["soa"].memory_units() == ref.memory_units()
+    for key in ("ksky_runs", "points_examined", "early_terminations",
+                "fully_safe_marked", "batched_scans"):
+        assert dets["soa"].stats[key] == ref.stats[key], key
+    assert dets["soa"].buffer.distance_rows == ref.buffer.distance_rows
+    assert dets["soa"].buffer.kernel_calls == ref.buffer.kernel_calls
+    return dets
+
+
+@pytest.mark.parametrize("spec", list("ABCDEFG"))
+def test_table1_soa_lockstep_grid(spec):
+    group = build_workload(spec, n_queries=6, seed=17,
+                           ranges=default_ranges())
+    dets = _lockstep_impls(group, _stream(), "grid")
+    # the soa engine actually did the work in arrays, not the python loop
+    soa, obj = dets["soa"], dets["object"]
+    assert soa.profile.soa_insert_rows > 0
+    assert obj.profile.soa_insert_rows == 0
+    assert (soa.profile.python_insert_iters
+            < obj.profile.python_insert_iters)
+
+
+@pytest.mark.parametrize("strategy", ["batched", "per-point", "auto"])
+def test_soa_lockstep_other_strategies(strategy):
+    group = build_workload("C", n_queries=5, seed=23,
+                           ranges=default_ranges())
+    _lockstep_impls(group, _stream(n=1000), strategy)
+
+
+def test_soa_checkpoint_crash_resume(tmp_path):
+    """Half-run a soa detector, checkpoint, restore, finish: identical to
+    an uninterrupted soa run AND to an uninterrupted object run."""
+    group = build_workload("D", n_queries=5, seed=31,
+                           ranges=default_ranges())
+    points = _stream(n=1200, seed=13)
+    config = DetectorConfig(refresh_strategy="grid", skyband_impl="soa")
+    batches = list(batches_by_boundary(points, group.swift.slide,
+                                       group.kind))
+    full = SOPDetector(group, config=config).run(points)
+    full_obj = SOPDetector(group, config=DetectorConfig(
+        refresh_strategy="grid")).run(points)
+    assert full.outputs == full_obj.outputs
+
+    det = SOPDetector(group, config=config)
+    outputs = {}
+    half = len(batches) // 2
+    for t, batch in batches[:half]:
+        for qi, seqs in det.step(t, batch).items():
+            outputs[(qi, t)] = seqs
+    path = tmp_path / "soa.ckpt"
+    save_checkpoint(det, batches[half - 1][0], path)
+    restored, last_t = load_checkpoint(path)
+    assert last_t == batches[half - 1][0]
+    # the config (and with it the soa engine) rode the checkpoint header
+    assert restored.config.skyband_impl == "soa"
+    assert restored.skyband_engine is not None
+    for t, batch in batches[half:]:
+        for qi, seqs in restored.step(t, batch).items():
+            outputs[(qi, t)] = seqs
+    assert outputs == {(qi, t): seqs
+                       for (qi, t), seqs in full.outputs.items()}
+
+
+# ------------------------------------------------------------- AutoRefresh
+
+
+class _FakeDet:
+    """Just enough detector surface for AutoRefresh._pick/_observe."""
+
+    class _Buf(list):
+        pass
+
+    def __init__(self, n):
+        self.buffer = [0] * n
+        self.stats = {"ksky_runs": 0}
+
+        class P:
+            candidates_pruned = 0
+        self.profile = P()
+
+
+def test_auto_small_windows_stay_batched():
+    eng = AutoRefresh()
+    det = _FakeDet(AutoRefresh._MIN_WINDOW - 1)
+    for _ in range(200):
+        assert eng._pick(det) == "batched"
+        eng._boundary += 1
+    assert eng.decisions == []
+
+
+def test_auto_probes_then_settles_on_measured_winner():
+    eng = AutoRefresh()
+    det = _FakeDet(AutoRefresh._MIN_WINDOW)
+    # warmup boundaries run batched
+    for _ in range(AutoRefresh._WARMUP):
+        assert eng._pick(det) == "batched"
+        eng._observe("batched", ns=100_000, rows=10, pruned=0)
+        eng._boundary += 1
+    # then it probes grid; feed it a cheap, well-pruning grid sample
+    for _ in range(AutoRefresh._PROBE):
+        assert eng._pick(det) == "grid"
+        eng._observe("grid", ns=10_000, rows=10,
+                     pruned=int(10 * AutoRefresh._MIN_PRUNE_PER_ROW))
+        eng._boundary += 1
+    assert eng._chosen == "grid"
+    assert eng.decisions and eng.decisions[-1][1] == "grid"
+    assert eng._pick(det) == "grid"
+
+
+def test_auto_ineligible_grid_never_chosen():
+    eng = AutoRefresh()
+    det = _FakeDet(AutoRefresh._MIN_WINDOW)
+    for _ in range(AutoRefresh._WARMUP):
+        eng._pick(det)
+        eng._observe("batched", ns=100_000, rows=10, pruned=0)
+        eng._boundary += 1
+    # grid measures *faster* but prunes nothing -> stays batched
+    for _ in range(AutoRefresh._PROBE):
+        assert eng._pick(det) == "grid"
+        eng._observe("grid", ns=10_000, rows=10, pruned=0)
+        eng._boundary += 1
+    assert eng._chosen == "batched"
+    ev = eng.decisions[-1][2]
+    assert ev["grid_eligible"] is False
+
+
+def test_auto_detector_equals_batched_outputs():
+    """End-to-end: auto produces the same outputs as forced batched."""
+    group = build_workload("B", n_queries=4, seed=7,
+                           ranges=default_ranges())
+    points = _stream(n=900, seed=5)
+    out_auto = SOPDetector(group, config=DetectorConfig(
+        refresh_strategy="auto")).run(points)
+    out_b = SOPDetector(group, config=DetectorConfig(
+        refresh_strategy="batched")).run(points)
+    assert out_auto.outputs == out_b.outputs

@@ -153,12 +153,13 @@ def test_config_strategy_selection():
     assert isinstance(_det(group, "grid").refresh_engine, GridPrunedRefresh)
     assert _det(group, "batched").refresh_engine.name == "batched"
     assert _det(group, "per-point").refresh_engine.name == "per-point"
-    # auto defers to the legacy flag
+    # auto names the measured crossover engine unless the legacy ablation
+    # flag asks for per-point
     auto_on = SOPDetector(group, config=DetectorConfig(
         refresh_strategy="auto", use_batched_refresh=True))
     auto_off = SOPDetector(group, config=DetectorConfig(
         refresh_strategy="auto", use_batched_refresh=False))
-    assert auto_on.refresh_engine.name == "batched"
+    assert auto_on.refresh_engine.name == "auto"
     assert auto_off.refresh_engine.name == "per-point"
     # legacy kwarg spelling reaches the config too
     legacy = SOPDetector(group, refresh_strategy="grid")
@@ -174,7 +175,7 @@ def test_config_roundtrip_preserves_strategy():
     old = {k: v for k, v in DetectorConfig().as_dict().items()
            if k != "refresh_strategy"}
     assert DetectorConfig.from_dict(old).resolved_refresh_strategy() == (
-        "batched")
+        "auto")
 
 
 # --------------------------------------------------- sharded runtime plumbing
