@@ -11,9 +11,11 @@ counters:
   scans, with the measured batched-vs-grid crossover picking the kernel
   strategy per regime (so the r=200 rows where pruning loses stay off
   the grid path);
-* a ``per-point`` oracle run at the headline config -- the paper's
-  literal one-kernel-per-point Alg. 3 loop, the reference every speedup
-  claim is anchored to.
+* ``per-point`` / ``per-point-soa`` oracle runs at the headline configs
+  -- the paper's literal one-kernel-per-point Alg. 3 loop on the object
+  oracle (the reference every speedup claim is anchored to) and on the
+  canonical SoA engine's per-point family, measuring what the per-point
+  port itself buys.
 
 Key reported quantities:
 
@@ -26,8 +28,11 @@ Key reported quantities:
   exists to kill;
 * ``soa_insert_rows`` -- skyband entries committed through bulk array
   appends instead of per-entry ``insert()`` calls;
-* ``perpoint_speedup_soa`` -- per-point refresh_ns / soa refresh_ns at
-  the oracle config (the >= 5x acceptance gate).
+* ``perpoint_speedup_soa`` -- per-point(object) refresh_ns / soa
+  refresh_ns at the oracle configs (the >= 5x acceptance gate);
+* ``perpoint_path_speedup`` -- per-point(object) refresh_ns /
+  per-point(soa) refresh_ns: the per-point strategy before vs after the
+  canonical-SoA port, holding the strategy fixed.
 
 Output equality across every engine pair is asserted on every config --
 a speedup that changes answers is a bug, not a result.  Per-config
@@ -76,14 +81,18 @@ WORKLOAD = "B"
 SLIDE_DIV = 20
 #: stream length in windows: one warm-up window + one steady-state window
 WINDOWS_PER_STREAM = 2
-#: configs that additionally run the per-point oracle (once -- it is the
-#: slow path by design); the soa-vs-per-point speedup is the headline gate
-PERPOINT_CONFIGS = ((16_000, 100.0),)
+#: configs that additionally run the per-point oracles (once each -- the
+#: object oracle is the slow path by design); the soa-vs-per-point
+#: speedup is the headline gate, and the object-vs-soa per-point pair
+#: measures the canonical-SoA port of the per-point family itself
+PERPOINT_CONFIGS = ((16_000, 100.0), (16_000, 200.0))
 #: headline gates, checked in full mode (warnings, not failures: honest
 #: regressions belong in the JSON)
 HEADLINE_SPEEDUP = 1.5
 HEADLINE_MIN_WINDOW = 16_000
 PERPOINT_SPEEDUP_TARGET = 5.0
+#: the per-point strategy itself, object oracle vs canonical SoA family
+PERPOINT_PATH_TARGET = 1.0
 ITERS_REDUCTION_TARGET = 10.0
 #: timing runs per engine in full mode (alternating order, per-boundary
 #: minimum of refresh_ns across repeats): detector outputs and work
@@ -92,11 +101,22 @@ ITERS_REDUCTION_TARGET = 10.0
 #: boundary, not per run
 REPEATS = 3
 
-#: benchmarked engines: label -> DetectorConfig kwargs
+#: benchmarked engines: label -> DetectorConfig kwargs.  The object
+#: baselines pin ``skyband_impl`` explicitly: "soa" is the package
+#: default now, and the before/after comparison is meaningless if the
+#: "before" silently runs the "after" tier.
 ENGINES = {
-    "batched": {"refresh_strategy": "batched"},
-    "grid": {"refresh_strategy": "grid"},
+    "batched": {"refresh_strategy": "batched", "skyband_impl": "object"},
+    "grid": {"refresh_strategy": "grid", "skyband_impl": "object"},
     "soa": {"refresh_strategy": "auto", "skyband_impl": "soa"},
+}
+
+#: the per-point oracle pair (run only at PERPOINT_CONFIGS)
+PERPOINT_ENGINES = {
+    "per-point": {"refresh_strategy": "per-point",
+                  "skyband_impl": "object"},
+    "per-point-soa": {"refresh_strategy": "per-point",
+                      "skyband_impl": "soa"},
 }
 
 
@@ -186,11 +206,11 @@ def run_config(window: int, r: float, seed: int = 11,
         boundary_ns[label] = (sample_ns if prev is None
                               else np.minimum(prev, sample_ns))
     if with_perpoint:
-        det = SOPDetector(group, config=DetectorConfig(
-            refresh_strategy="per-point"))
-        runs["per-point"] = (det, det.run(stream))
-        boundary_ns["per-point"] = np.array(
-            [s[0] for s in det.profile.samples], dtype=np.int64)
+        for label, kwargs in PERPOINT_ENGINES.items():
+            det = SOPDetector(group, config=DetectorConfig(**kwargs))
+            runs[label] = (det, det.run(stream))
+            boundary_ns[label] = np.array(
+                [s[0] for s in det.profile.samples], dtype=np.int64)
     robust_ns = {label: float(arr.sum()) for label, arr in
                  boundary_ns.items()}
     det_b, res_b = runs["batched"]
@@ -229,9 +249,14 @@ def run_config(window: int, r: float, seed: int = 11,
     }
     if with_perpoint:
         pp_ns = _ns("per-point")
+        pps_ns = _ns("per-point-soa")
         out["per_point"] = _profile_dict(runs["per-point"][0], pp_ns)
+        out["per_point_soa"] = _profile_dict(runs["per-point-soa"][0],
+                                             pps_ns)
         out["perpoint_speedup_soa"] = (round(pp_ns / soa_ns, 3)
                                        if soa_ns else float("nan"))
+        out["perpoint_path_speedup"] = (round(pp_ns / pps_ns, 3)
+                                        if pps_ns else float("nan"))
     return out
 
 
@@ -244,7 +269,8 @@ def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS,
         cfg = run_config(window, r, repeats=repeats,
                          with_perpoint=(window, r) in set(perpoint_configs))
         configs.append(cfg)
-        pp = (f" perpoint->soa {cfg['perpoint_speedup_soa']:.2f}x"
+        pp = (f" perpoint->soa {cfg['perpoint_speedup_soa']:.2f}x "
+              f"(perpoint path {cfg['perpoint_path_speedup']:.2f}x)"
               if "perpoint_speedup_soa" in cfg else "")
         print(
             f"workload B r={cfg['r']:>5.0f} win={cfg['window']:>6}: "
@@ -271,6 +297,11 @@ def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS,
          if "perpoint_speedup_soa" in c),
         default=None,
     )
+    perpoint_path = min(
+        (c["perpoint_path_speedup"] for c in configs
+         if "perpoint_path_speedup" in c),
+        default=None,
+    )
     min_iters_reduction = min(
         (c["python_insert_iters_reduction"] for c in configs),
         default=None,
@@ -280,8 +311,13 @@ def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS,
          "refresh_speedup": c["refresh_speedup"]}
         for c in configs if c["refresh_speedup"] < 1.0
     ]
+    regressions.extend(
+        {"window": c["window"], "r": c["r"],
+         "perpoint_path_speedup": c["perpoint_path_speedup"]}
+        for c in configs if c.get("perpoint_path_speedup", 1.0) < 1.0
+    )
     return {
-        "schema": "bench_grid_refresh/v2",
+        "schema": "bench_grid_refresh/v3",
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -294,11 +330,14 @@ def run_grid(windows, rs, extra_pairs=(), repeats: int = REPEATS,
             "slide_divisor": SLIDE_DIV,
             "timing_runs_per_engine": repeats,
             "engines": {k: dict(v) for k, v in ENGINES.items()},
+            "perpoint_engines": {k: dict(v)
+                                 for k, v in PERPOINT_ENGINES.items()},
             "stream": "make_synthetic_points(dim=2, outlier_rate=0.02, "
                       "seed=7, n_clusters=4, cluster_spread=120)",
         },
         "headline_speedup_at_large_windows": headline,
         "headline_speedup_vs_perpoint": perpoint,
+        "min_perpoint_path_speedup": perpoint_path,
         "min_python_insert_iters_reduction": min_iters_reduction,
         "regressions": regressions,
         "configs": configs,
@@ -326,6 +365,9 @@ def main(argv=None) -> int:
             ("per-point->soa speedup",
              report["headline_speedup_vs_perpoint"],
              PERPOINT_SPEEDUP_TARGET),
+            ("per-point path object->soa speedup",
+             report["min_perpoint_path_speedup"],
+             PERPOINT_PATH_TARGET),
             ("min python_insert_iters reduction",
              report["min_python_insert_iters_reduction"],
              ITERS_REDUCTION_TARGET),

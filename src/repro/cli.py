@@ -114,10 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "grid (batched + grid-cell candidate pruning); "
                           "auto defers to --no-batched-refresh (SOP only)")
     det.add_argument("--skyband-impl", choices=("object", "soa"),
-                     default="object",
-                     help="skyband state backend: object (Python-list "
-                          "LSky oracle) or soa (flat numpy arrays, "
-                          "vectorized scans; identical outputs, SOP only)")
+                     default="soa",
+                     help="skyband state backend: soa (default; canonical "
+                          "flat numpy arrays, vectorized scans on every "
+                          "refresh strategy) or object (legacy Python-list "
+                          "LSky, the bit-exact oracle; identical outputs, "
+                          "SOP only)")
     det.add_argument("--lazy", action="store_true",
                      help="refresh evidence only at boundaries with due "
                           "queries instead of eagerly every slide (SOP only)")

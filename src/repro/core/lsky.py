@@ -25,6 +25,8 @@ from __future__ import annotations
 from bisect import bisect_right, insort
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["LSky", "SkybandEntry"]
 
 #: one skyband point: (seq, pos, layer); ``pos`` is the stream position used
@@ -207,6 +209,23 @@ class LSky:
                 counts[layer] = counts.get(layer, 0) + 1
             self._cards_cache = (n, dict(sorted(counts.items())))
         return dict(self._cards_cache[1])
+
+    def as_arrays(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """Canonical ``(seqs, poss, layers)`` int64/f64/int64 arrays.
+
+        The representation contract shared with
+        :meth:`~repro.core.lsky_soa.LSkySoA.as_arrays`: the detector
+        stores every point's committed skyband as these three arrays, so
+        an object ``LSky`` built by the legacy impl converts here at the
+        commit boundary.  Treat the result as read-only.
+        """
+        n = len(self.seqs)
+        if not n:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.int64))
+        return (np.asarray(self.seqs, dtype=np.int64),
+                np.asarray(self.poss, dtype=np.float64),
+                np.asarray(self.layers, dtype=np.int64))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LSky({len(self)} entries over {self.n_layers} layers)"

@@ -129,23 +129,25 @@ class LSkySoA:
         sky._cards = None
         return sky
 
-    @staticmethod
-    def adopt_segments(n_layers: int, segs_s: List, segs_p: List,
-                       segs_l: List, n: int) -> "LSkySoA":
-        """Adopt per-chunk scan-order segments without touching numpy.
+    @classmethod
+    def from_segments(cls, n_layers: int, segs_s: List, segs_p: List,
+                      segs_l: List) -> "LSkySoA":
+        """Adopt per-chunk scan-order segments (arrays or plain lists).
 
-        Cheaper still than :meth:`adopt`: segment lists (arrays or plain
-        python lists) are stored raw and concatenated/converted only when
-        an attribute is first read (``_LazySegmentsSoA.__getattr__``).
-        Most scan results are consumed exactly once -- frozen into
-        evidence arrays -- so the conversion runs at most once and often
-        on a code path that needed an ``asarray`` call anyway.
+        Every scan result is consumed exactly once -- frozen into the
+        point's canonical arrays by the evidence commit -- so eager
+        concatenation here pays the same single ``asarray``/``concatenate``
+        a lazy scheme would defer, without the indirection machinery
+        (PR 7 removed the ``_LazySegmentsSoA`` shim on those grounds).
         """
-        sky = object.__new__(_LazySegmentsSoA)
-        sky.n_layers = n_layers
-        sky._n = n
-        sky._raw = (segs_s, segs_p, segs_l)
-        return sky
+        if len(segs_s) == 1:
+            return cls.adopt(n_layers, segs_s[0], segs_p[0], segs_l[0])
+        return cls.adopt(
+            n_layers,
+            np.concatenate([np.asarray(s, dtype=np.int64) for s in segs_s]),
+            np.concatenate([np.asarray(p, dtype=np.float64) for p in segs_p]),
+            np.concatenate([np.asarray(l, dtype=np.int64) for l in segs_l]),
+        )
 
     # ------------------------------------------------------------- mutation
 
@@ -343,54 +345,23 @@ class LSkySoA:
             self._cards = dict(zip(uniq.tolist(), counts.tolist()))
         return dict(self._cards)
 
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical ``(seqs, poss, layers)`` int64/f64/int64 arrays.
+
+        The shared representation contract with :meth:`LSky.as_arrays`:
+        the detector's committed point state is exactly these three
+        arrays.  Returns the backing arrays directly when no spare
+        capacity exists (the adopt path), a trimmed copy otherwise;
+        treat the result as read-only.
+        """
+        n = self._n
+        if len(self._seqs) == n:
+            return self._seqs, self._poss, self._layers
+        return (self._seqs[:n].copy(), self._poss[:n].copy(),
+                self._layers[:n].copy())
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LSkySoA({self._n} entries over {self.n_layers} layers)"
-
-
-#: slots of :class:`LSkySoA` that a lazy instance fills on first touch
-_LAZY_SLOTS = frozenset(
-    ("_seqs", "_poss", "_layers", "_layer_counts", "_csum", "_buckets",
-     "_cards"))
-
-
-class _LazySegmentsSoA(LSkySoA):
-    """:class:`LSkySoA` whose arrays materialize on first attribute read.
-
-    Built by :meth:`LSkySoA.adopt_segments`: only ``n_layers``/``_n`` and
-    the raw segment tuple are assigned, so the remaining slots stay unset
-    and the first read of any of them lands in ``__getattr__`` (python
-    consults it only after ``__getattribute__`` fails), which
-    concatenates the segments and fills every slot.  After that one call
-    the instance behaves exactly like its parent with zero indirection
-    overhead.
-    """
-
-    __slots__ = ("_raw",)
-
-    def _invalidate(self) -> None:
-        # a mutation makes the raw segments stale; consumers that adopt
-        # them directly (``sop._arrays_from_lsky``) must fall back to the
-        # materialized arrays from here on
-        LSkySoA._invalidate(self)
-        self._raw = None
-
-    def __getattr__(self, name):
-        if name not in _LAZY_SLOTS:
-            raise AttributeError(name)
-        segs_s, segs_p, segs_l = object.__getattribute__(self, "_raw")
-        if len(segs_s) == 1:
-            self._seqs = np.asarray(segs_s[0], dtype=np.int64)
-            self._poss = np.asarray(segs_p[0], dtype=np.float64)
-            self._layers = np.asarray(segs_l[0], dtype=np.int64)
-        else:
-            self._seqs = np.concatenate(segs_s, dtype=np.int64)
-            self._poss = np.concatenate(segs_p, dtype=np.float64)
-            self._layers = np.concatenate(segs_l, dtype=np.int64)
-        self._layer_counts = None
-        self._csum = None
-        self._buckets = None
-        self._cards = None
-        return object.__getattribute__(self, name)
 
 
 # --------------------------------------------------------- vectorized resolve

@@ -62,11 +62,12 @@ by ``benchmarks/bench_ablations.py`` and ``benchmarks/bench_refresh.py``):
   engines; "auto" (default) runs the measured batched-vs-grid crossover
   (``AutoRefresh``), falling back to per-point when the legacy
   ``use_batched_refresh=False`` ablation asks for it;
-* ``skyband_impl="soa"`` -- batched scans run through the vectorized
-  structure-of-arrays skyband tier (``VectorizedSkybandEngine`` over
-  ``LSkySoA``) instead of the Python-list ``LSky`` path; "object"
-  (default) is the bit-exact oracle the equivalence suites compare
-  against.
+* ``skyband_impl="soa"`` (default) -- every refresh strategy (per-point,
+  batched, grid, auto) runs through the vectorized structure-of-arrays
+  skyband tier (``VectorizedSkybandEngine`` over ``LSkySoA``), the
+  canonical representation; ``"object"`` selects the Python-list
+  ``LSky`` path, kept as the bit-exact oracle the equivalence suites
+  compare against.
 
 All switches preserve output equality; they only trade CPU/memory.
 """
@@ -93,16 +94,11 @@ from ..metrics.profiling import RefreshProfile
 from ..streams.buffer import WindowBuffer
 from .ksky import KSkyResult, KSkyRunner
 from .lsky import LSky
-from .lsky_soa import LSkySoA, _LazySegmentsSoA
 from .parser import SkybandPlan, parse_workload
 from .point import Point
 from .queries import QueryGroup
 
 __all__ = ["SOPDetector"]
-
-_EMPTY_I = np.empty(0, dtype=np.int64)
-_EMPTY_F = np.empty(0, dtype=np.float64)
-
 
 class _PointState:
     """Per-live-point bookkeeping: evidence arrays + safety + horizon.
@@ -124,9 +120,13 @@ class _PointState:
     def entry_count(self) -> int:
         return 0 if self.seqs is None else len(self.seqs)
 
-    @property
-    def lsky(self):
-        """Rebuild an :class:`LSky` view of the evidence (tests/inspection)."""
+    def as_object_lsky(self):
+        """Rebuild an :class:`LSky` view of the evidence.
+
+        The committed state is canonically the three SoA arrays; this
+        adapter exists for tests, inspection, and the legacy object impl
+        only -- nothing on the hot path calls it.
+        """
         if self.seqs is None:
             return None
         sky = LSky(max(int(self.layers.max()) + 1, 1) if len(self.layers)
@@ -135,43 +135,6 @@ class _PointState:
         for seq, pos, layer in zip(self.seqs, self.poss, self.layers):
             sky.insert(int(seq), float(pos), int(layer))
         return sky
-
-
-def _arrays_from_lsky(sky):
-    """Freeze a scan result (``LSky`` or ``LSkySoA``) into the per-point
-    evidence arrays; the SoA backend's arrays are adopted without copies.
-
-    A lazily-adopted segment result is converted straight from its raw
-    chunk segments -- the same single ``asarray``/``concatenate`` the
-    object path pays, with no materialization detour (``_raw`` is ``None``
-    once a mutation makes the segments stale; the materialized arrays are
-    authoritative then)."""
-    if isinstance(sky, LSkySoA):
-        if type(sky) is _LazySegmentsSoA:
-            raw = sky._raw
-            if raw is not None:
-                segs_s, segs_p, segs_l = raw
-                if len(segs_s) == 1:
-                    return (np.asarray(segs_s[0], dtype=np.int64),
-                            np.asarray(segs_p[0], dtype=np.float64),
-                            np.asarray(segs_l[0], dtype=np.int64))
-                return (np.concatenate(segs_s, dtype=np.int64),
-                        np.concatenate(segs_p, dtype=np.float64),
-                        np.concatenate(segs_l, dtype=np.int64))
-        n = sky._n
-        if not n:
-            return _EMPTY_I, _EMPTY_F, _EMPTY_I
-        raw = sky._seqs
-        if len(raw) != n:
-            return raw[:n], sky._poss[:n], sky._layers[:n]
-        return raw, sky._poss, sky._layers
-    if not len(sky.seqs):
-        return _EMPTY_I, _EMPTY_F, _EMPTY_I
-    return (
-        np.asarray(sky.seqs, dtype=np.int64),
-        np.asarray(sky.poss, dtype=np.float64),
-        np.asarray(sky.layers, dtype=np.int64),
-    )
 
 
 class SOPDetector(Detector):
@@ -198,7 +161,7 @@ class SOPDetector(Detector):
         use_batched_refresh: bool = True,
         batch_min_rows: int = 8,
         refresh_strategy: str = "auto",
-        skyband_impl: str = "object",
+        skyband_impl: str = "soa",
         config: Optional[DetectorConfig] = None,
     ):
         if config is None:
@@ -225,9 +188,10 @@ class SOPDetector(Detector):
         self.use_least_examination = config.use_least_examination
         self.use_batched_refresh = config.use_batched_refresh
         self.batch_min_rows = max(1, config.batch_min_rows)
-        #: skyband state backend: None runs the object-path (Python-list
-        #: LSky) scans; a VectorizedSkybandEngine routes batched scans
-        #: through the numpy structure-of-arrays tier (identical outputs)
+        #: skyband state backend: a VectorizedSkybandEngine (the default)
+        #: routes every refresh strategy through the canonical numpy
+        #: structure-of-arrays tier; None selects the legacy object-path
+        #: (Python-list LSky) oracle scans -- identical outputs either way
         self.skyband_impl = config.skyband_impl
         self.skyband_engine: Optional[VectorizedSkybandEngine] = (
             VectorizedSkybandEngine(self.plan, config.chunk_size)
@@ -313,7 +277,7 @@ class SOPDetector(Detector):
     def _commit_scratch(self, p: Point, st: Optional[_PointState],
                         result: KSkyResult, newest_seq: int) -> None:
         """Commit one from-scratch scan result."""
-        seqs, poss, layers = _arrays_from_lsky(result.lsky)
+        seqs, poss, layers = result.lsky.as_arrays()
         self._store(p, st, seqs, poss, layers, result.examined,
                     result.terminated_early, newest_seq)
 
@@ -336,7 +300,7 @@ class SOPDetector(Detector):
         evaluation cache uses to skip re-flattening.
         """
         examined = scan.examined
-        n_seqs, n_poss, n_layers = _arrays_from_lsky(scan.lsky)
+        n_seqs, n_poss, n_layers = scan.lsky.as_arrays()
         if scan.terminated_early or st.seqs is None or not len(st.seqs):
             return n_seqs, n_poss, n_layers, examined
         keep = st.poss >= window_start

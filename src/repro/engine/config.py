@@ -49,10 +49,13 @@ class DetectorConfig:
     #: ``use_batched_refresh=False`` ablation, "auto" still resolves to
     #: the per-point engine
     refresh_strategy: str = "auto"
-    #: skyband state backend: "object" (Python-list ``LSky``, the bit-exact
-    #: oracle) or "soa" (flat numpy structure-of-arrays tier driven by the
-    #: vectorized scan engine; identical outputs, less interpreter work)
-    skyband_impl: str = "object"
+    #: skyband state backend: "soa" (the default -- flat numpy
+    #: structure-of-arrays tier, canonical representation for every
+    #: refresh strategy, per-point included) or "object" (Python-list
+    #: ``LSky``, kept selectable as the bit-exact oracle the equivalence
+    #: suites and the CI legacy leg compare against; identical outputs,
+    #: more interpreter work)
+    skyband_impl: str = "soa"
     #: number of value-partitioned shards the runtime drives (1 = the
     #: classic single-executor path, byte-identical to pre-shard runs)
     shards: int = 1

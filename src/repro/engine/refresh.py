@@ -164,29 +164,33 @@ class RefreshEngine:
 
 
 class PerPointRefresh(RefreshEngine):
-    """One distance kernel per evaluated point (the pre-batching engine)."""
+    """One distance kernel per evaluated point (the paper's literal loop).
+
+    Like the batched strategies, the scans route through the detector's
+    skyband backend: SoA detectors run ``VectorizedSkybandEngine``'s
+    per-point family natively on canonical SoA state (so
+    ``python_insert_iters``/``soa_insert_rows`` are counted by the engine
+    itself, consistently with the batched paths), object detectors run the
+    ``KSkyRunner`` oracle.
+    """
 
     name = "per-point"
 
     def _scan_scratch(self, det, scratch, newest_seq) -> int:
         eng = getattr(det, "skyband_engine", None)
+        runner = det.runner if eng is None else eng
         for _, p, st in scratch:
-            result = det.runner.run_new_point(p.values, p.seq, det.buffer)
-            if eng is not None:
-                # per-point scans really do interpret one loop iteration
-                # per candidate; keep the SoA iteration counter honest
-                eng.py_iters += result.examined
+            result = runner.run_new_point(p.values, p.seq, det.buffer)
             det._commit_scratch(p, st, result, newest_seq)
         return 0
 
     def _scan_survivors(self, det, new_from, group, window_start, n_live,
                         newest_seq) -> int:
         eng = getattr(det, "skyband_engine", None)
+        runner = det.runner if eng is None else eng
         for _, p, st in group:
-            scan = det.runner.scan_new_arrivals(p.values, p.seq, det.buffer,
-                                                new_from)
-            if eng is not None:
-                eng.py_iters += scan.examined
+            scan = runner.scan_new_arrivals(p.values, p.seq, det.buffer,
+                                            new_from)
             det._commit_survivor(p, st, scan, window_start, newest_seq)
         return 0
 
@@ -536,12 +540,12 @@ class _SoaRow:
 
     def finalize(self, n_layers: int) -> LSkySoA:
         # segments may be numpy arrays (vectorized chunks) or plain lists
-        # (the int fast paths); the lazy adoption converts whichever on
-        # first read, so finalize itself never touches numpy
+        # (the int fast paths); eager adoption is the right trade because
+        # every result is consumed exactly once by the evidence commit
         if not self.segs_s:
             return LSkySoA(n_layers)
-        return LSkySoA.adopt_segments(n_layers, self.segs_s, self.segs_p,
-                                      self.segs_l, self.n)
+        return LSkySoA.from_segments(n_layers, self.segs_s, self.segs_p,
+                                     self.segs_l)
 
 
 class VectorizedSkybandEngine:
@@ -600,6 +604,196 @@ class VectorizedSkybandEngine:
             resolved_all=resolved,
         )
 
+    def _resolve_row_chunk(
+        self,
+        state: _SoaRow,
+        j_self: int,
+        block_lo: int,
+        lo_s: int,
+        hi_s: int,
+        js_nz,
+        js_all: List[int],
+        ms_all: Optional[List[int]],
+        lmat_row,
+        cand_list: Optional[List[int]],
+        cand_arr: Optional[np.ndarray],
+        c_base: int,
+        seq_arr: np.ndarray,
+        pos_arr: np.ndarray,
+        seqs_list: List[int],
+        poss_list: List[float],
+        single: bool,
+    ) -> Tuple[bool, bool, int, int, int]:
+        """Resolve one evaluated point's selected candidates of one chunk.
+
+        The shared core of every SoA scan: the batched sweep
+        (:meth:`scan_batched`) and the per-point family
+        (:meth:`run_new_point` / :meth:`scan_new_arrivals` /
+        :meth:`run_existing_point` via :meth:`_scan_span`) both land here,
+        so insert decisions, regime selection (single-layer bulk take /
+        small-chunk sequential / vectorized resolve + bounded replay) and
+        termination candidates are one implementation.
+
+        ``js_all``/``ms_all`` are flat python lists of selected column
+        indexes/layers with this row's span at ``[lo_s, hi_s)``; ``js_nz``
+        and ``lmat_row`` are their array twins for the vectorized branch.
+        ``cand_list``/``cand_arr`` map columns to live buffer indexes when
+        the kernel saw a candidate subset (``None`` -> ``block_lo + j``).
+        ``j_self`` is the evaluated point's own column in this chunk (-1
+        when absent).  Returns ``(inserted, terminated, jt, py_iters,
+        soa_rows)`` with ``jt`` the terminating candidate's chunk-relative
+        index; the row's cached insert threshold is refreshed before
+        returning.
+        """
+        plan = self.plan
+        n_layers = plan.n_layers
+        k_max = plan.k_max
+        allowed = plan.allowed_layer
+        resolution = state.resolution
+        terminated = False
+        inserted = False
+        jt = 0
+        py_iters = 1
+        soa_rows = 0
+        if single:
+            # fixed-r bulk take: the newest `k_max - n` selected
+            # candidates, terminating at the k_max-th insert (same
+            # collapse, and the same int walk, as the object
+            # engine's single-layer path -- only the commit is a
+            # bulk segment append instead of four list.extends)
+            need = k_max - state.n
+            take: List[int] = []
+            ii = hi_s - 1
+            while ii >= lo_s and len(take) < need:
+                j = js_all[ii]
+                if j != j_self:
+                    take.append(block_lo + j if cand_list is None
+                                else cand_list[c_base + j])
+                ii -= 1
+            if take:
+                t = len(take)
+                segs_s = state.segs_s
+                if t > 32:
+                    live = np.asarray(take, dtype=np.int64)
+                    segs_s.append(seq_arr[live])
+                    state.segs_p.append(pos_arr[live])
+                    state.segs_l.append(
+                        np.zeros(t, dtype=np.int64))
+                elif segs_s and type(segs_s[-1]) is list:
+                    # coalesce into the trailing list segment:
+                    # rows that collect entries a few per chunk
+                    # (small-r regimes) stay single-segment, so
+                    # adoption is one asarray, not a concat chain
+                    segs_s[-1].extend(
+                        [seqs_list[x] for x in take])
+                    state.segs_p[-1].extend(
+                        [poss_list[x] for x in take])
+                    state.segs_l[-1].extend([0] * t)
+                else:
+                    segs_s.append(
+                        [seqs_list[x] for x in take])
+                    state.segs_p.append(
+                        [poss_list[x] for x in take])
+                    state.segs_l.append([0] * t)
+                state.n += t
+                state._sorted_layers.extend([0] * t)
+                state.counts[0] += t
+                inserted = True
+                soa_rows += t
+                if t == need:
+                    resolution.pending = []
+                    terminated = True
+                    jt = take[-1] - block_lo
+        elif hi_s - lo_s <= self._SEQ_LIMIT:
+            # small chunk: the sequential inner loop is cheaper
+            # than the array passes; it is the object loop verbatim
+            sl = state._sorted_layers
+            counts = state.counts
+            on_insert = resolution.on_insert
+            app_idx: List[int] = []
+            app_m: List[int] = []
+            for ii in range(hi_s - 1, lo_s - 1, -1):
+                j = js_all[ii]
+                if j == j_self:
+                    continue
+                idx = (block_lo + j if cand_list is None
+                       else cand_list[c_base + j])
+                py_iters += 1
+                m = ms_all[ii]
+                c = bisect_right(sl, m)
+                if c < k_max and m <= allowed[c]:
+                    app_idx.append(idx)
+                    app_m.append(m)
+                    insort(sl, m)
+                    counts[m] += 1
+                    inserted = True
+                    if on_insert(state, m):
+                        terminated = True
+                        jt = idx - block_lo
+                        break
+            if app_idx:
+                segs_s = state.segs_s
+                if segs_s and type(segs_s[-1]) is list:
+                    segs_s[-1].extend(
+                        [seqs_list[x] for x in app_idx])
+                    state.segs_p[-1].extend(
+                        [poss_list[x] for x in app_idx])
+                    state.segs_l[-1].extend(app_m)
+                else:
+                    segs_s.append(
+                        [seqs_list[x] for x in app_idx])
+                    state.segs_p.append(
+                        [poss_list[x] for x in app_idx])
+                    state.segs_l.append(app_m)
+                state.n += len(app_idx)
+                soa_rows += len(app_idx)
+        else:
+            # vectorized resolve: compute the untruncated insert
+            # set with array passes, then replay it through the
+            # real _Resolution to find the exact termination cut
+            js = js_nz[lo_s:hi_s]
+            if j_self >= 0:
+                js = js[js != j_self]
+            js_desc = js[::-1]
+            m_scan = lmat_row[js_desc]
+            counts_arr = np.asarray(state.counts, dtype=np.int64)
+            if self._numba:
+                pos, ins_m = resolve_chunk_inserts_numba(
+                    m_scan, counts_arr, self._allowed_arr, k_max)
+            else:
+                pos, ins_m = resolve_chunk_inserts(
+                    m_scan, counts_arr, self._limits)
+            if len(pos):
+                cols = js_desc[pos]
+                live = (block_lo + cols if cand_arr is None
+                        else cand_arr[c_base + cols])
+                sl = state._sorted_layers
+                counts = state.counts
+                on_insert = resolution.on_insert
+                cut = len(pos)
+                for t_i in range(cut):
+                    m = int(ins_m[t_i])
+                    insort(sl, m)
+                    counts[m] += 1
+                    inserted = True
+                    py_iters += 1
+                    if on_insert(state, m):
+                        terminated = True
+                        cut = t_i + 1
+                        jt = int(live[t_i]) - block_lo
+                        break
+                live = live[:cut]
+                state.segs_s.append(seq_arr[live])
+                state.segs_p.append(pos_arr[live])
+                state.segs_l.append(
+                    np.ascontiguousarray(ins_m[:cut]))
+                state.n += cut
+                soa_rows += cut
+        sl = state._sorted_layers
+        state.thresh = (sl[k_max - 1] if k_max <= len(sl)
+                        else n_layers)
+        return inserted, terminated, jt, py_iters, soa_rows
+
     def scan_batched(
         self,
         row_indexes: Sequence[int],
@@ -610,9 +804,6 @@ class VectorizedSkybandEngine:
     ) -> List[KSkyResult]:
         plan = self.plan
         n_layers = plan.n_layers
-        k_max = plan.k_max
-        allowed = plan.allowed_layer
-        limits = self._limits
         chunk = self.chunk_size
         hi = len(buffer)
         n = len(p_seqs)
@@ -716,10 +907,6 @@ class VectorizedSkybandEngine:
                     continue
                 state = rows[row]
                 resolution = state.resolution
-                terminated = False
-                inserted = False
-                jt = 0
-                py_iters += 1
                 if offs is None:
                     j_self = self_idx - block_lo
                     if not 0 <= j_self < width:
@@ -731,143 +918,14 @@ class VectorizedSkybandEngine:
                               and cand_list[p] == self_idx else -1)
                 else:
                     j_self = -1
-                if single:
-                    # fixed-r bulk take: the newest `k_max - n` selected
-                    # candidates, terminating at the k_max-th insert (same
-                    # collapse, and the same int walk, as the object
-                    # engine's single-layer path -- only the commit is a
-                    # bulk segment append instead of four list.extends)
-                    need = k_max - state.n
-                    take: List[int] = []
-                    ii = hi_s - 1
-                    while ii >= lo_s and len(take) < need:
-                        j = js_all[ii]
-                        if j != j_self:
-                            take.append(block_lo + j if offs is None
-                                        else cand_list[c_base + j])
-                        ii -= 1
-                    if take:
-                        t = len(take)
-                        segs_s = state.segs_s
-                        if t > 32:
-                            live = np.asarray(take, dtype=np.int64)
-                            segs_s.append(seq_arr[live])
-                            state.segs_p.append(pos_arr[live])
-                            state.segs_l.append(
-                                np.zeros(t, dtype=np.int64))
-                        elif segs_s and type(segs_s[-1]) is list:
-                            # coalesce into the trailing list segment:
-                            # rows that collect entries a few per chunk
-                            # (small-r regimes) stay single-segment, so
-                            # adoption is one asarray, not a concat chain
-                            segs_s[-1].extend(
-                                [seqs_list[x] for x in take])
-                            state.segs_p[-1].extend(
-                                [poss_list[x] for x in take])
-                            state.segs_l[-1].extend([0] * t)
-                        else:
-                            segs_s.append(
-                                [seqs_list[x] for x in take])
-                            state.segs_p.append(
-                                [poss_list[x] for x in take])
-                            state.segs_l.append([0] * t)
-                        state.n += t
-                        state._sorted_layers.extend([0] * t)
-                        state.counts[0] += t
-                        inserted = True
-                        soa_rows += t
-                        if t == need:
-                            resolution.pending = []
-                            terminated = True
-                            jt = take[-1] - block_lo
-                elif hi_s - lo_s <= self._SEQ_LIMIT:
-                    # small chunk: the sequential inner loop is cheaper
-                    # than the array passes; it is the object loop verbatim
-                    sl = state._sorted_layers
-                    counts = state.counts
-                    on_insert = resolution.on_insert
-                    app_idx: List[int] = []
-                    app_m: List[int] = []
-                    for ii in range(hi_s - 1, lo_s - 1, -1):
-                        j = js_all[ii]
-                        if j == j_self:
-                            continue
-                        idx = (block_lo + j if offs is None
-                               else cand_list[c_base + j])
-                        py_iters += 1
-                        m = ms_all[ii]
-                        c = bisect_right(sl, m)
-                        if c < k_max and m <= allowed[c]:
-                            app_idx.append(idx)
-                            app_m.append(m)
-                            insort(sl, m)
-                            counts[m] += 1
-                            inserted = True
-                            if on_insert(state, m):
-                                terminated = True
-                                jt = idx - block_lo
-                                break
-                    if app_idx:
-                        segs_s = state.segs_s
-                        if segs_s and type(segs_s[-1]) is list:
-                            segs_s[-1].extend(
-                                [seqs_list[x] for x in app_idx])
-                            state.segs_p[-1].extend(
-                                [poss_list[x] for x in app_idx])
-                            state.segs_l[-1].extend(app_m)
-                        else:
-                            segs_s.append(
-                                [seqs_list[x] for x in app_idx])
-                            state.segs_p.append(
-                                [poss_list[x] for x in app_idx])
-                            state.segs_l.append(app_m)
-                        state.n += len(app_idx)
-                        soa_rows += len(app_idx)
-                else:
-                    # vectorized resolve: compute the untruncated insert
-                    # set with array passes, then replay it through the
-                    # real _Resolution to find the exact termination cut
-                    js = js_nz[lo_s:hi_s]
-                    if j_self >= 0:
-                        js = js[js != j_self]
-                    js_desc = js[::-1]
-                    m_scan = lmat[a][js_desc]
-                    counts_arr = np.asarray(state.counts, dtype=np.int64)
-                    if self._numba:
-                        pos, ins_m = resolve_chunk_inserts_numba(
-                            m_scan, counts_arr, self._allowed_arr, k_max)
-                    else:
-                        pos, ins_m = resolve_chunk_inserts(
-                            m_scan, counts_arr, limits)
-                    if len(pos):
-                        cols = js_desc[pos]
-                        live = (block_lo + cols if offs is None
-                                else cand_arr[c_base + cols])
-                        sl = state._sorted_layers
-                        counts = state.counts
-                        on_insert = resolution.on_insert
-                        cut = len(pos)
-                        for t_i in range(cut):
-                            m = int(ins_m[t_i])
-                            insort(sl, m)
-                            counts[m] += 1
-                            inserted = True
-                            py_iters += 1
-                            if on_insert(state, m):
-                                terminated = True
-                                cut = t_i + 1
-                                jt = int(live[t_i]) - block_lo
-                                break
-                        live = live[:cut]
-                        state.segs_s.append(seq_arr[live])
-                        state.segs_p.append(pos_arr[live])
-                        state.segs_l.append(
-                            np.ascontiguousarray(ins_m[:cut]))
-                        state.n += cut
-                        soa_rows += cut
-                sl = state._sorted_layers
-                state.thresh = (sl[k_max - 1] if k_max <= len(sl)
-                                else n_layers)
+                inserted, terminated, jt, d_py, d_soa = (
+                    self._resolve_row_chunk(
+                        state, j_self, block_lo, lo_s, hi_s, js_nz,
+                        js_all, ms_all, lmat[a], cand_list, cand_arr,
+                        c_base, seq_arr, pos_arr, seqs_list, poss_list,
+                        single))
+                py_iters += d_py
+                soa_rows += d_soa
                 self_rel = self_idx - block_lo
                 self_in = 0 <= self_rel < width
                 if terminated:
@@ -902,6 +960,126 @@ class VectorizedSkybandEngine:
                 state, examined[row], False,
                 resolution.done or resolution.check(state))
         return results
+
+    # ------------------------------------------------------ per-point family
+
+    def _scan_span(self, p_values, p_seq: int, buffer, lo: int, hi: int
+                   ) -> Tuple[_SoaRow, int, bool]:
+        """Port of ``KSkyRunner._scan_buffer`` onto canonical SoA state.
+
+        One ``distances_from`` kernel per chunk (the object per-point
+        path's exact kernel shape and count), candidate selection and the
+        per-chunk resolve through :meth:`_resolve_row_chunk`.  Chunk
+        boundaries anchor at ``hi`` -- identical to the object walk for
+        every per-point entry point (``hi`` is always ``len(buffer)``
+        there).  The evaluated point's own column is located once by seq
+        (seqs are unique and ascending; -1 when ``p`` is not in the
+        buffer), matching the object path's per-candidate seq-equality
+        skip.  Boundary resolution checks run only after chunks that
+        inserted -- a check with no intervening insert filters ``pending``
+        against unchanged state, removes nothing, and returns False
+        whenever ``pending`` is non-empty, so eliding it is
+        state-identical (DESIGN.md section 13); the degenerate empty
+        template instead disables the zero-selection skip and terminates
+        at the first visited chunk exactly like the batched sweep.
+
+        Returns ``(state, examined, terminated_early)``.
+        """
+        plan = self.plan
+        n_layers = plan.n_layers
+        chunk = self.chunk_size
+        state = _SoaRow(_Resolution(plan, self._pending), n_layers)
+        resolution = state.resolution
+        seq_arr = buffer.seq_array()
+        pos_arr = buffer.pos_array(self.by_time)
+        seqs_list = buffer.seqs()
+        poss_list = buffer.positions(self.by_time)
+        si = buffer.first_index_at_or_after_seq(p_seq)
+        self_idx = (si if si < len(seqs_list) and seqs_list[si] == p_seq
+                    else -1)
+        single = (n_layers == 1 and bool(self._pending)
+                  and len(self._pending) <= _Resolution._EXACT_LIMIT)
+        skip_empty = bool(self._pending)
+        examined = 0
+        block_hi = hi
+        while block_hi > lo:
+            block_lo = max(lo, block_hi - chunk)
+            width = block_hi - block_lo
+            dists = buffer.distances_from(p_values, block_lo, block_hi)
+            lvec = plan.grid.layers_of(dists)
+            js = np.nonzero(lvec < state.thresh)[0]
+            j_self = self_idx - block_lo
+            if not 0 <= j_self < width:
+                j_self = -1
+            self_in = j_self >= 0
+            if not len(js) and skip_empty:
+                # no below-threshold candidate: the whole chunk folds
+                # into examined arithmetic, as in the batched sweep
+                examined += width - (1 if self_in else 0)
+                block_hi = block_lo
+                continue
+            js_all = js.tolist()
+            ms_all = None if single else lvec[js].tolist()
+            inserted, terminated, jt, d_py, d_soa = (
+                self._resolve_row_chunk(
+                    state, j_self, block_lo, 0, len(js_all), js, js_all,
+                    ms_all, lvec, None, None, 0, seq_arr, pos_arr,
+                    seqs_list, poss_list, single))
+            self.py_iters += d_py
+            self.soa_rows += d_soa
+            if terminated:
+                examined += (width - jt) - (
+                    1 if self_in and j_self > jt else 0)
+                return state, examined, True
+            examined += width - (1 if self_in else 0)
+            if inserted:
+                if resolution.check(state):
+                    return state, examined, True
+            elif not resolution.pending:
+                return state, examined, True
+            block_hi = block_lo
+        return state, examined, False
+
+    def run_new_point(self, p_values, p_seq: int, buffer) -> KSkyResult:
+        """SoA twin of ``KSkyRunner.run_new_point`` (Alg. 1, lines 1-2)."""
+        state, examined, terminated = self._scan_span(
+            p_values, p_seq, buffer, 0, len(buffer))
+        resolution = state.resolution
+        return self._result(
+            state, examined, terminated,
+            resolution.done or resolution.check(state))
+
+    def scan_new_arrivals(self, p_values, p_seq: int, buffer,
+                          new_from_index: int) -> KSkyResult:
+        """SoA twin of ``KSkyRunner.scan_new_arrivals``."""
+        state, examined, terminated = self._scan_span(
+            p_values, p_seq, buffer, new_from_index, len(buffer))
+        return self._result(state, examined, terminated,
+                            state.resolution.done)
+
+    def run_existing_point(self, p_values, p_seq: int, buffer,
+                           old_entries, new_from_index: int) -> KSkyResult:
+        """SoA twin of ``KSkyRunner.run_existing_point`` (Alg. 1, 3-5).
+
+        The detector's survivor path merges old evidence itself
+        (``SOPDetector._merge_survivor``); this entry point exists for the
+        oracle-lockstep suites and API parity with the runner.
+        """
+        state, examined, terminated = self._scan_span(
+            p_values, p_seq, buffer, new_from_index, len(buffer))
+        sky = state.finalize(self.plan.n_layers)
+        if not terminated and old_entries:
+            k_max = self.plan.k_max
+            keep = [e for e in old_entries
+                    if sky.dominator_count(e[2]) < k_max]
+            examined += len(old_entries)
+            sky.extend_older(keep)
+        return KSkyResult(
+            lsky=sky,
+            examined=examined,
+            terminated_early=terminated,
+            resolved_all=state.resolution.check(sky),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"VectorizedSkybandEngine(chunk_size={self.chunk_size}, "

@@ -128,7 +128,7 @@ class TestPointStateView:
         det = SOPDetector(g, use_safe_inliers=False)
         det.run(line_points([0.0, 0.1, 5.0, 0.2] * 5))
         st = det.state_of(18)
-        view = st.lsky
+        view = st.as_object_lsky()
         assert view is not None
         assert len(view) == st.entry_count()
         seqs = view.seqs
@@ -139,7 +139,8 @@ class TestPointStateView:
         det = SOPDetector(g)
         det.run(line_points([0.0] * 40))
         safe_states = [det.state_of(s) for s in range(20, 30)]
-        assert any(st.fully_safe and st.lsky is None for st in safe_states)
+        assert any(st.fully_safe and st.as_object_lsky() is None
+                   for st in safe_states)
 
 
 class TestDetectorRunUntil:

@@ -22,10 +22,13 @@ from hypothesis import strategies as st
 from repro import (
     AutoRefresh,
     DetectorConfig,
+    KSkyRunner,
     LSky,
     LSkySoA,
     SOPDetector,
+    VectorizedSkybandEngine,
     make_synthetic_points,
+    parse_workload,
 )
 from repro.bench import build_workload, default_ranges
 from repro.checkpoint import load_checkpoint, save_checkpoint
@@ -315,6 +318,182 @@ def test_soa_checkpoint_crash_resume(tmp_path):
         for qi, seqs in restored.step(t, batch).items():
             outputs[(qi, t)] = seqs
     assert outputs == {(qi, t): seqs
+                       for (qi, t), seqs in full.outputs.items()}
+
+
+# ---------------------------------------- per-point engine entry points
+
+
+def _result_facts(res):
+    """Everything a caller can observe about a KSkyResult."""
+    return {
+        "entries": [tuple(e) for e in res.lsky.entries()],
+        "examined": res.examined,
+        "terminated_early": res.terminated_early,
+        "resolved_all": res.resolved_all,
+    }
+
+
+@st.composite
+def _perpoint_case(draw):
+    spec = draw(st.sampled_from("ABC"))
+    n_queries = draw(st.integers(2, 5))
+    seed = draw(st.integers(0, 50))
+    chunk = draw(st.sampled_from([3, 7, 16, 64, 256]))
+    n_points = draw(st.integers(2, 90))
+    stream_seed = draw(st.integers(0, 50))
+    # evaluated point: an index into the buffer (self-skip path) or an
+    # external probe absent from the buffer (j_self == -1 path)
+    self_idx = draw(st.one_of(st.none(), st.integers(0, n_points - 1)))
+    new_from = draw(st.integers(0, n_points))
+    n_old = draw(st.integers(0, 6))
+    return (spec, n_queries, seed, chunk, n_points, stream_seed,
+            self_idx, new_from, n_old)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_perpoint_case())
+def test_perpoint_engine_lockstep(case):
+    """Every per-point entry point of the SoA engine is bit-identical to
+    the ``KSkyRunner`` oracle: same skyband entries, examined counts,
+    termination, and resolution flags, across chunk boundaries, self-skip
+    vs external probes, arbitrary suffixes, and old-evidence merges."""
+    (spec, n_queries, seed, chunk, n_points, stream_seed,
+     self_idx, new_from, n_old) = case
+    group = build_workload(spec, n_queries=n_queries, seed=seed,
+                           ranges=default_ranges())
+    plan = parse_workload(group)
+    runner = KSkyRunner(plan, chunk_size=chunk)
+    engine = VectorizedSkybandEngine(plan, chunk_size=chunk)
+    det = SOPDetector(group)  # buffer factory only: metric + kernels
+    buf = det.buffer
+    buf.extend(make_synthetic_points(n_points, dim=2, outlier_rate=0.1,
+                                     seed=stream_seed))
+    if self_idx is None:
+        p_values, p_seq = (0.25, -0.5), -1
+    else:
+        p = buf.points[self_idx]
+        p_values, p_seq = p.values, p.seq
+
+    a = runner.run_new_point(p_values, p_seq, buf)
+    b = engine.run_new_point(p_values, p_seq, buf)
+    assert _result_facts(a) == _result_facts(b)
+
+    a = runner.scan_new_arrivals(p_values, p_seq, buf, new_from)
+    b = engine.scan_new_arrivals(p_values, p_seq, buf, new_from)
+    assert _result_facts(a) == _result_facts(b)
+
+    # old evidence: strictly arrival-descending, older than every new
+    # arrival in the scanned suffix, layers within the plan
+    first_new_seq = (buf.points[new_from].seq if new_from < len(buf)
+                    else buf.points[-1].seq + 1)
+    old_entries = [(first_new_seq - 1 - i, float(10 + 3 * i),
+                    i % plan.n_layers) for i in range(n_old)]
+    a = runner.run_existing_point(p_values, p_seq, buf, old_entries,
+                                  new_from)
+    b = engine.run_existing_point(p_values, p_seq, buf, old_entries,
+                                  new_from)
+    assert _result_facts(a) == _result_facts(b)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=st.sampled_from("ABCDEFG"), seed=st.integers(0, 30),
+       stream_seed=st.integers(0, 30))
+def test_perpoint_detector_hypothesis_lockstep(spec, seed, stream_seed):
+    """Full-detector lockstep under the per-point strategy: hypothesis
+    picks the workload and stream, ``_lockstep_impls`` asserts identical
+    outputs, evidence, memory, and work stats at every boundary."""
+    group = build_workload(spec, n_queries=4, seed=seed,
+                           ranges=default_ranges())
+    _lockstep_impls(group, _stream(n=400, seed=stream_seed), "per-point")
+
+
+@pytest.mark.parametrize("shards,backend",
+                         [(2, "serial"), (2, "process")])
+def test_sharded_skyband_impl_equivalence(shards, backend):
+    """skyband_impl flows through the sharded runtime: object and soa
+    shardings produce identical outputs at every boundary."""
+    from functools import partial
+
+    from repro import QueryGroup, Runtime, compare_outputs
+
+    group = build_workload("C", n_queries=4, seed=5,
+                           ranges=default_ranges())
+    points = make_synthetic_points(800, dim=2, outlier_rate=0.05, seed=23)
+
+    def run(impl):
+        config = DetectorConfig(refresh_strategy="grid", skyband_impl=impl,
+                                shards=shards, backend=backend)
+        factory = partial(SOPDetector, config=config)
+        runtime = Runtime(QueryGroup(list(group.queries)), factory=factory,
+                          config=config)
+        return runtime.run(points).outputs
+
+    try:
+        got = run("soa")
+        want = run("object")
+    except OSError as exc:  # pragma: no cover - restricted sandboxes
+        pytest.skip(f"process pool unavailable: {exc}")
+    diffs = compare_outputs(want, got)
+    assert not diffs, "\n".join(diffs[:10])
+
+
+def test_legacy_object_checkpoint_resumes_under_soa_default(tmp_path):
+    """A pre-refactor checkpoint (header config pins
+    ``skyband_impl="object"``) restores cleanly now that the default is
+    "soa", and the resumed run is bit-exact however it is restored:
+
+    * no factory -> the saved config rides along (still "object");
+    * factory with the new default -> loud mismatch naming both impls;
+    * factory + ``allow_config_mismatch=True`` -> deliberate upgrade to
+      the canonical SoA tier, same outputs.
+    """
+    group = build_workload("E", n_queries=5, seed=41,
+                           ranges=default_ranges())
+    points = _stream(n=1200, seed=19)
+    legacy = DetectorConfig(refresh_strategy="grid", skyband_impl="object")
+    batches = list(batches_by_boundary(points, group.swift.slide,
+                                       group.kind))
+    full = SOPDetector(group, config=legacy).run(points)
+
+    det = SOPDetector(group, config=legacy)
+    outputs = {}
+    half = len(batches) // 2
+    for t, batch in batches[:half]:
+        for qi, seqs in det.step(t, batch).items():
+            outputs[(qi, t)] = seqs
+    path = tmp_path / "legacy_object.ckpt"
+    save_checkpoint(det, batches[half - 1][0], path)
+
+    # 1. default restore: the saved object config is preserved
+    restored, last_t = load_checkpoint(path)
+    assert last_t == batches[half - 1][0]
+    assert restored.config.skyband_impl == "object"
+    assert restored.skyband_engine is None
+
+    # 2. a factory carrying the new default fails loudly, naming impls
+    with pytest.raises(ValueError, match="skyband_impl.*object.*soa"):
+        load_checkpoint(path, factory=lambda g: SOPDetector(
+            g, config=legacy.replace(skyband_impl="soa")))
+
+    # 3. explicit upgrade to the canonical SoA tier
+    upgraded, _ = load_checkpoint(
+        path,
+        factory=lambda g: SOPDetector(
+            g, config=legacy.replace(skyband_impl="soa")),
+        allow_config_mismatch=True)
+    assert upgraded.config.skyband_impl == "soa"
+    assert upgraded.skyband_engine is not None
+
+    # both resumed runs finish bit-exact vs the uninterrupted legacy run
+    for resumed in (restored, upgraded):
+        got = dict(outputs)
+        for t, batch in batches[half:]:
+            for qi, seqs in resumed.step(t, batch).items():
+                got[(qi, t)] = seqs
+        assert got == {(qi, t): seqs
                        for (qi, t), seqs in full.outputs.items()}
 
 

@@ -242,7 +242,18 @@ def test_refresh_profile_records_boundaries():
     assert prof.refresh_ns > 0
     assert prof.kernel_launches > 0
     assert prof.batch_rows > 0
-    assert prof.python_insert_iters == det.stats["points_examined"]
+    # SoA default: python_insert_iters is the interpreted work actually
+    # spent (replays + fallback visits), a strict subset of the logical
+    # scan; the bulk of the inserts land as soa_insert_rows instead.
+    assert 0 < prof.python_insert_iters <= det.stats["points_examined"]
+    assert prof.soa_insert_rows > 0
+    # the object oracle keeps the paper's L == points_examined identity
+    obj = SOPDetector(build_workload("A", n_queries=4, seed=2),
+                      skyband_impl="object")
+    obj.run(_stream(n=1000))
+    assert (obj.profile.python_insert_iters
+            == obj.stats["points_examined"])
+    assert obj.profile.soa_insert_rows == 0
     assert len(prof.samples) == prof.boundaries
     work = det.work_stats()
     for key in ("refresh_boundaries", "refresh_ns", "kernel_launches",
