@@ -31,6 +31,10 @@ window into most shards; sharding them buys little and can cost
 is asserted on every config -- a speedup that changes answers is a bug,
 not a result.
 
+Schema v2: ``settings.skyband_impl`` records which skyband tier produced
+the numbers (the SoA refactor made ``"soa"`` the detector default, so
+v1 files measured the retired object tier and are not comparable).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_shards.py          # full grid,
@@ -51,7 +55,8 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro import Runtime, compare_outputs, make_synthetic_points
+from repro import (DetectorConfig, Runtime, compare_outputs,
+                   make_synthetic_points)
 from repro.bench import build_workload, default_ranges
 
 N_QUERIES = 8
@@ -174,7 +179,7 @@ def run_grid(windows, workloads, shard_counts, process_shards) -> dict:
                     f"outputs_equal={run['outputs_equal']}"
                 )
     return {
-        "schema": "bench_shards/v1",
+        "schema": "bench_shards/v2",
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -182,6 +187,7 @@ def run_grid(windows, workloads, shard_counts, process_shards) -> dict:
             "cpu_count": os.cpu_count(),
         },
         "settings": {
+            "skyband_impl": DetectorConfig().skyband_impl,
             "n_queries": N_QUERIES,
             "windows_per_stream": WINDOWS_PER_STREAM,
             "slide_divisor": SLIDE_DIV,

@@ -120,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "refresh strategy) or object (legacy Python-list "
                           "LSky, the bit-exact oracle; identical outputs, "
                           "SOP only)")
+    det.add_argument("--prefilter", choices=("none", "qn", "sensitivity"),
+                     default="none",
+                     help="first-tier inlier screen ahead of the exact "
+                          "K-SKY refresh: qn (windowed Qn/MAD robust-scale "
+                          "anchors) or sensitivity (sampled anchor balls); "
+                          "none disables screening (SOP only)")
+    det.add_argument("--prefilter-mode", choices=("exact", "fast"),
+                     default="exact",
+                     help="exact prunes only provably k-satisfied points "
+                          "(outputs byte-identical to --prefilter none); "
+                          "fast additionally prunes on statistical "
+                          "evidence (approximate; SOP only)")
     det.add_argument("--lazy", action="store_true",
                      help="refresh evidence only at boundaries with due "
                           "queries instead of eagerly every slide (SOP only)")
@@ -230,6 +242,8 @@ def _cmd_detect(args) -> int:
         batch_min_rows=args.batch_min_rows,
         refresh_strategy=args.refresh_strategy,
         skyband_impl=args.skyband_impl,
+        prefilter=args.prefilter,
+        prefilter_mode=args.prefilter_mode,
         shards=args.shards,
         backend=args.backend,
         replication_radius=args.replication_radius,

@@ -95,6 +95,7 @@ from ..streams.buffer import WindowBuffer
 from .ksky import KSkyResult, KSkyRunner
 from .lsky import LSky
 from .parser import SkybandPlan, parse_workload
+from .prefilter import InlierScreen, build_prefilter
 from .point import Point
 from .queries import QueryGroup
 
@@ -207,6 +208,11 @@ class SOPDetector(Detector):
             if strategy == "auto"
             else PerPointRefresh()
         )
+        #: first-tier inlier screen (see repro.core.prefilter); None for
+        #: prefilter="none".  The refresh engine consults it per boundary
+        #: and routes certified points to :meth:`_mark_prefilter_safe`
+        self.prefilter: Optional[InlierScreen] = build_prefilter(
+            config, self.plan)
         #: safe-for-all component (see repro.engine.safety)
         self.safety = SafetyTracker(self.plan)
         self._states: Dict[int, _PointState] = {}
@@ -351,6 +357,20 @@ class SOPDetector(Detector):
                 st.seqs, st.poss, st.layers = seqs, poss, layers
                 self._gen += 1
             st.last_seen_seq = newest_seq
+
+    def _mark_prefilter_safe(self, p_seq: int, newest_seq: int) -> None:
+        """Commit one screen-certified point as fully safe, scan-free.
+
+        Exact-mode certification proves the point satisfies the
+        safe-for-all test for every registered query (DESIGN.md section
+        14), so this is the fully-safe branch of :meth:`_store` minus the
+        scan it renders unnecessary; the refresh this point skips would
+        have reached the same state at this very boundary.
+        """
+        self.stats["fully_safe_marked"] += 1
+        self._states[p_seq] = _PointState(None, None, None, newest_seq,
+                                          True)
+        self._gen += 1
 
     def _is_fully_safe(self, p_seq: int, seqs: np.ndarray,
                        layers: np.ndarray) -> bool:

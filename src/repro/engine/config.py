@@ -88,11 +88,29 @@ class DetectorConfig:
     #: file, resolved by :meth:`repro.testing.faults.FaultPlan.resolve`);
     #: None disables fault injection -- production default
     fault_plan: Optional[str] = None
+    #: first-tier inlier screen ahead of the exact K-SKY refresh
+    #: (see :mod:`repro.core.prefilter`): "none" disables screening;
+    #: "qn" anchors on a windowed Qn/MAD robust-scale estimate; and
+    #: "sensitivity" samples anchors uniformly (deterministically) from
+    #: the live window.  Each shard of a sharded runtime screens its own
+    #: window; the ``prefilter_*`` counters merge additively.
+    prefilter: str = "none"
+    #: "exact" prunes only points *provably* k-satisfied for every
+    #: registered query (outputs byte-identical to ``prefilter="none"``);
+    #: "fast" additionally prunes on the screen's statistical evidence
+    #: (approximate -- ``benchmarks/bench_prefilter.py`` measures recall)
+    prefilter_mode: str = "exact"
 
     _BACKENDS = ("serial", "process", "supervised")
     _REFRESH_STRATEGIES = ("auto", "per-point", "batched", "grid")
     _SKYBAND_IMPLS = ("object", "soa")
     _FAILURE_POLICIES = ("fail", "retry", "drop-and-flag")
+    _PREFILTERS = ("none", "qn", "sensitivity")
+    _PREFILTER_MODES = ("exact", "fast")
+    #: metrics the prefilter's ball certification is sound for (the
+    #: screens rely on the triangle inequality; a custom registered
+    #: distance need not satisfy it)
+    _PREFILTER_METRICS = ("euclidean", "manhattan", "chebyshev")
 
     def __post_init__(self):
         if (isinstance(self.metric, DistanceMetric)
@@ -133,6 +151,28 @@ class DetectorConfig:
             raise ValueError("shard_deadline must be >= 0 (0 = no deadline)")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+        if self.prefilter not in self._PREFILTERS:
+            raise ValueError(
+                f"prefilter must be one of {self._PREFILTERS}, "
+                f"got {self.prefilter!r}"
+            )
+        if self.prefilter_mode not in self._PREFILTER_MODES:
+            raise ValueError(
+                f"prefilter_mode must be one of {self._PREFILTER_MODES}, "
+                f"got {self.prefilter_mode!r}"
+            )
+        if self.prefilter != "none":
+            if not self.use_safe_inliers:
+                raise ValueError(
+                    "prefilter requires use_safe_inliers=True: certified "
+                    "prunes commit through the fully-safe machinery"
+                )
+            if self.metric not in self._PREFILTER_METRICS:
+                raise ValueError(
+                    f"prefilter requires a triangle-inequality metric "
+                    f"{self._PREFILTER_METRICS}, got {self.metric!r}; "
+                    f"use prefilter='none' with custom metrics"
+                )
 
     def resolved_refresh_strategy(self) -> str:
         """The effective refresh strategy.

@@ -99,6 +99,18 @@ class RefreshEngine:
         newest_seq = pts[-1].seq
         n_live = len(pts)
         states = det._states
+        # first tier: the prefilter's certainly-inlier mask (None when
+        # there is no screen or it sits this boundary out).  Its anchor
+        # kernels run inside the timed region with kernels0 already
+        # snapshotted, so the screen's own cost lands in this boundary's
+        # refresh_ns / kernel_launches sample -- honest accounting.
+        screen = getattr(det, "prefilter", None)
+        prune = None
+        if screen is not None:
+            prune = screen.prune_mask(det)
+            if prune is not None:
+                prune = prune.tolist()
+        pf_screened = pf_pruned = 0
         #: from-scratch scans, as (live index, point, state-or-None)
         scratch: List[Tuple[int, object, object]] = []
         #: new_from index -> [(live index, point, state), ...]
@@ -107,6 +119,16 @@ class RefreshEngine:
             st = states.get(p.seq)
             if st is not None and st.fully_safe:
                 continue
+            if prune is not None:
+                pf_screened += 1
+                if prune[idx]:
+                    # suspect-mask short-circuit: certified points commit
+                    # straight to the fully-safe state the skipped scan
+                    # would have produced (exact mode; fast mode accepts
+                    # the screen's statistical evidence here)
+                    pf_pruned += 1
+                    det._mark_prefilter_safe(p.seq, newest_seq)
+                    continue
             if st is None or not det.use_least_examination:
                 scratch.append((idx, p, st))
             else:
@@ -116,6 +138,8 @@ class RefreshEngine:
                 new_from = buf.first_index_at_or_after_seq(
                     st.last_seen_seq + 1)
                 survivors.setdefault(new_from, []).append((idx, p, st))
+        if screen is not None:
+            screen.observe(pf_screened, pf_pruned)
 
         batch_rows = self._scan_scratch(det, scratch, newest_seq)
         for new_from, group in survivors.items():
@@ -142,6 +166,9 @@ class RefreshEngine:
             pruned,
             cells_visited,
             soa_insert_rows=soa_rows,
+            prefilter_screened=pf_screened,
+            prefilter_suspects=pf_screened - pf_pruned,
+            prefilter_pruned=pf_pruned,
         )
 
     # ------------------------------------------------------------ interface
@@ -381,25 +408,51 @@ class GridPrunedRefresh(BatchedRefresh):
 
 
 class AutoRefresh(RefreshEngine):
-    """Measured batched-vs-grid crossover (``refresh_strategy="auto"``).
+    """Measured engine crossover (``refresh_strategy="auto"``).
 
     ``BENCH_grid.json`` showed the grid engine *regressing* at r=200 on
     small/mid windows (0.75-0.90x): the neighborhood assembly there costs
     more than the pruned kernel volume saves.  Static heuristics over
     (window, r) proved brittle, so auto measures instead: it starts on the
-    batched engine, probes the grid engine for a few boundaries once the
-    window is large enough to plausibly pay for pruning, and settles on
-    whichever engine's measured ns-per-scanned-row is lower, re-probing
-    periodically in case the regime drifts.  Both engines are bit-exact
-    for outputs (the lockstep suites gate that), so the choice only moves
-    wall time -- never results.
+    batched engine, probes the regime's alternative for a few boundaries,
+    and settles on whichever engine's measured ns-per-scanned-row is
+    lower, re-probing periodically in case the regime drifts.  All
+    engines are bit-exact for outputs (the lockstep suites gate that), so
+    the choice only moves wall time -- never results.
 
-    Grid eligibility additionally requires the probe to show real pruning
-    work (``candidates_pruned / batch_rows`` from the existing
-    :class:`~repro.metrics.profiling.RefreshProfile` counters): a probe
-    that pruned next to nothing can still come out ahead on noise, and the
-    recorded r=200 regressions are exactly the regime where pruning volume
-    per row is low relative to window size.
+    Two regimes, split at ``_MIN_WINDOW`` live points:
+
+    * **large** -- batched vs. grid, as before.  Grid eligibility
+      additionally requires the probe to show real pruning work
+      (``candidates_pruned / batch_rows`` from the existing
+      :class:`~repro.metrics.profiling.RefreshProfile` counters): a probe
+      that pruned next to nothing can still come out ahead on noise, and
+      the recorded r=200 regressions are exactly the regime where pruning
+      volume per row is low relative to window size.
+    * **small** -- batched vs. per-point.  Grid is never probed there (no
+      recorded win under ~8k windows); instead small windows probe
+      :class:`PerPointRefresh`.  Unlike the large regime, the small-regime
+      *choice* is counter-only: per-point is eligible exactly when the
+      batched probe shows the batch tier achieving no amortization --
+      fewer than ``_PP_MAX_ROWS_PER_LAUNCH`` evaluated rows per kernel
+      launch (``batch_rows / kernel_launches`` deltas on a batched
+      boundary).  Below one row per launch every launch is a fallback
+      scan per-point would have issued anyway, plus partition
+      bookkeeping, so per-point is chosen deterministically; otherwise
+      batched stays.  Measured ns-per-row is still recorded in the
+      decision evidence, but it never drives the small-regime choice:
+      the default config routes small windows through auto, and the
+      equivalence suites compare deterministic work counters across
+      independent runs -- a wall-clock-driven choice between
+      counter-different engines would make those counters flap with
+      ambient load.
+
+    Costs are tracked per regime (a ns-per-row measured at 2k live points
+    says nothing about 100k), and a regime shift sanitizes stale state:
+    queued probes for the other regime are dropped and a choice that is
+    not eligible in the new regime falls back to batched until the new
+    regime's probe decides otherwise.  Every decision appends its
+    evidence to :attr:`decisions`.
     """
 
     name = "auto"
@@ -410,12 +463,14 @@ class AutoRefresh(RefreshEngine):
     _PROBE = 2
     #: settled boundaries between re-probes of the other engine
     _REPROBE = 64
-    #: never probe grid below this live-window size: BENCH_grid recorded
-    #: no grid win under ~8k windows, and tiny windows (unit tests) keep a
-    #: deterministic batched-only trace
+    #: regime split: below this live-window size the alternative engine
+    #: is per-point, at or above it the alternative is grid
     _MIN_WINDOW = 4096
     #: minimum pruned candidates per scanned row for grid to be eligible
     _MIN_PRUNE_PER_ROW = 64.0
+    #: batched rows per kernel launch below which per-point is eligible
+    #: (the batch tier is pure overhead: no launch amortizes anything)
+    _PP_MAX_ROWS_PER_LAUNCH = 1.0
     #: EMA weight of the newest cost sample
     _ALPHA = 0.5
 
@@ -424,13 +479,17 @@ class AutoRefresh(RefreshEngine):
         self._engines: Dict[str, RefreshEngine] = {
             "batched": BatchedRefresh(self.batch_min_rows),
             "grid": GridPrunedRefresh(self.batch_min_rows),
+            "per-point": PerPointRefresh(),
         }
         self._chosen = "batched"
         self._boundary = 0
         self._settled = 0
+        self._small = False
         self._probe_queue: List[str] = []
+        #: EMA ns-per-row, keyed "small:<engine>" / "large:<engine>"
         self._cost: Dict[str, float] = {}
         self._grid_eligible = False
+        self._pp_eligible = False
         #: (boundary, chosen, evidence) per decision -- observability
         self.decisions: List[Tuple[int, str, Dict[str, object]]] = []
 
@@ -439,6 +498,8 @@ class AutoRefresh(RefreshEngine):
         engine = self._engines[name]
         runs0 = det.stats["ksky_runs"]
         pruned0 = det.profile.candidates_pruned
+        rows0 = det.profile.batch_rows
+        launches0 = det.profile.kernel_launches
         t0 = time.perf_counter_ns()
         engine.refresh(det, window_start)
         self._observe(
@@ -446,57 +507,90 @@ class AutoRefresh(RefreshEngine):
             time.perf_counter_ns() - t0,
             det.stats["ksky_runs"] - runs0,
             det.profile.candidates_pruned - pruned0,
+            det.profile.batch_rows - rows0,
+            det.profile.kernel_launches - launches0,
         )
         self._boundary += 1
 
     # ------------------------------------------------------------- decisions
 
+    def _key(self, name: str) -> str:
+        return f"{'small' if self._small else 'large'}:{name}"
+
     def _pick(self, det) -> str:
-        if len(det.buffer) < self._MIN_WINDOW:
-            return "batched"
+        small = len(det.buffer) < self._MIN_WINDOW
+        if small != self._small:
+            # regime shift: probes queued for the other regime are stale,
+            # and the settled choice may not even be eligible here
+            self._small = small
+            self._probe_queue = []
+            if self._chosen == ("grid" if small else "per-point"):
+                self._chosen = "batched"
+            self._settled = 0
         if self._boundary < self._WARMUP:
             return "batched"
         if self._probe_queue:
             return self._probe_queue[0]
-        if "grid" not in self._cost:
-            self._probe_queue = ["grid"] * self._PROBE
-            return "grid"
+        other = "per-point" if small else "grid"
+        if self._key(other) not in self._cost:
+            self._probe_queue = [other] * self._PROBE
+            return other
         self._settled += 1
         if self._settled >= self._REPROBE:
             self._settled = 0
-            other = "batched" if self._chosen == "grid" else "grid"
-            if other == "batched" or self._grid_eligible:
-                self._probe_queue = [other] * self._PROBE
-                return other
+            alt = "batched" if self._chosen != "batched" else other
+            eligible = (alt == "batched"
+                        or (alt == "grid" and self._grid_eligible)
+                        or (alt == "per-point" and self._pp_eligible))
+            if eligible:
+                self._probe_queue = [alt] * self._PROBE
+                return alt
         return self._chosen
 
-    def _observe(self, name: str, ns: int, rows: int, pruned: int) -> None:
+    def _observe(self, name: str, ns: int, rows: int, pruned: int,
+                 batch_rows: int = 0, launches: int = 0) -> None:
         if rows > 0:
             cost = ns / rows
-            prev = self._cost.get(name)
-            self._cost[name] = (cost if prev is None
-                                else (1 - self._ALPHA) * prev
-                                + self._ALPHA * cost)
+            key = self._key(name)
+            prev = self._cost.get(key)
+            self._cost[key] = (cost if prev is None
+                               else (1 - self._ALPHA) * prev
+                               + self._ALPHA * cost)
             if name == "grid":
                 self._grid_eligible = (
                     pruned / rows >= self._MIN_PRUNE_PER_ROW)
+            elif name == "batched" and self._small:
+                self._pp_eligible = (
+                    batch_rows / max(1, launches)
+                    < self._PP_MAX_ROWS_PER_LAUNCH)
         if self._probe_queue and self._probe_queue[0] == name:
             self._probe_queue.pop(0)
             if not self._probe_queue:
                 self._decide()
 
     def _decide(self) -> None:
-        g = self._cost.get("grid")
-        b = self._cost.get("batched")
-        choice = ("grid" if g is not None and b is not None
-                  and self._grid_eligible and g < b else "batched")
+        b = self._cost.get(self._key("batched"))
+        other = "per-point" if self._small else "grid"
+        o = self._cost.get(self._key(other))
+        if self._small:
+            # counter-only: the measured costs below are evidence, not
+            # input -- see the class docstring on determinism
+            choice = "per-point" if self._pp_eligible else "batched"
+        else:
+            choice = (other if o is not None and b is not None
+                      and self._grid_eligible and o < b else "batched")
         self._chosen = choice
         self._settled = 0
-        self.decisions.append((self._boundary, choice, {
-            "grid_ns_per_row": g,
+        evidence: Dict[str, object] = {
+            "regime": "small" if self._small else "large",
+            f"{other.replace('-', '_')}_ns_per_row": o,
             "batched_ns_per_row": b,
-            "grid_eligible": self._grid_eligible,
-        }))
+        }
+        if self._small:
+            evidence["per_point_eligible"] = self._pp_eligible
+        else:
+            evidence["grid_eligible"] = self._grid_eligible
+        self.decisions.append((self._boundary, choice, evidence))
 
     def _take_prune_stats(self) -> Tuple[int, int]:  # pragma: no cover
         # never called: refresh() delegates wholesale to the sub-engines,

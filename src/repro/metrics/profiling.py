@@ -29,7 +29,15 @@ that -- and to keep it provable as the code evolves --
   ``distance_rows``, not the logical scan;
 * ``kernel_cells_visited`` -- grid-cell probes served by
   ``GridCandidateIndex.candidates_within`` while assembling those
-  candidate sets (the pruning overhead's own cost driver).
+  candidate sets (the pruning overhead's own cost driver);
+* ``prefilter_screened`` / ``prefilter_suspects`` / ``prefilter_pruned``
+  -- the tiered pre-filter's per-boundary tallies (see
+  ``repro.core.prefilter``): candidate points the first-tier screen
+  examined, the suspects it passed to the exact refresh, and the
+  certified inliers it pruned scan-free (all 0 with ``prefilter="none"``
+  or when the screen sits a boundary out).  The screen's anchor kernels
+  are *not* netted out of ``kernel_launches``/``refresh_ns`` -- the
+  tier's own cost stays visible in the same sample.
 
 Aggregates are cheap to keep and are surfaced through
 ``SOPDetector.work_stats()`` into ``RunResult.work``;
@@ -45,8 +53,9 @@ __all__ = ["RefreshProfile"]
 
 #: one per-boundary sample: (refresh_ns, kernel_launches, batch_rows,
 #: python_insert_iters, candidates_pruned, kernel_cells_visited,
-#: soa_insert_rows)
-BoundarySample = Tuple[int, int, int, int, int, int, int]
+#: soa_insert_rows, prefilter_screened, prefilter_suspects,
+#: prefilter_pruned)
+BoundarySample = Tuple[int, int, int, int, int, int, int, int, int, int]
 
 
 class RefreshProfile:
@@ -54,8 +63,9 @@ class RefreshProfile:
 
     __slots__ = ("boundaries", "refresh_ns", "kernel_launches", "batch_rows",
                  "python_insert_iters", "candidates_pruned",
-                 "kernel_cells_visited", "soa_insert_rows", "samples",
-                 "keep_samples")
+                 "kernel_cells_visited", "soa_insert_rows",
+                 "prefilter_screened", "prefilter_suspects",
+                 "prefilter_pruned", "samples", "keep_samples")
 
     def __init__(self, keep_samples: bool = True):
         self.boundaries: int = 0
@@ -66,6 +76,9 @@ class RefreshProfile:
         self.candidates_pruned: int = 0
         self.kernel_cells_visited: int = 0
         self.soa_insert_rows: int = 0
+        self.prefilter_screened: int = 0
+        self.prefilter_suspects: int = 0
+        self.prefilter_pruned: int = 0
         self.keep_samples = keep_samples
         #: per-boundary samples (only when ``keep_samples``)
         self.samples: List[BoundarySample] = []
@@ -73,7 +86,10 @@ class RefreshProfile:
     def record(self, refresh_ns: int, kernel_launches: int, batch_rows: int,
                python_insert_iters: int, candidates_pruned: int = 0,
                kernel_cells_visited: int = 0,
-               soa_insert_rows: int = 0) -> None:
+               soa_insert_rows: int = 0,
+               prefilter_screened: int = 0,
+               prefilter_suspects: int = 0,
+               prefilter_pruned: int = 0) -> None:
         """Record one refreshed boundary."""
         self.boundaries += 1
         self.refresh_ns += refresh_ns
@@ -83,11 +99,15 @@ class RefreshProfile:
         self.candidates_pruned += candidates_pruned
         self.kernel_cells_visited += kernel_cells_visited
         self.soa_insert_rows += soa_insert_rows
+        self.prefilter_screened += prefilter_screened
+        self.prefilter_suspects += prefilter_suspects
+        self.prefilter_pruned += prefilter_pruned
         if self.keep_samples:
             self.samples.append(
                 (refresh_ns, kernel_launches, batch_rows,
                  python_insert_iters, candidates_pruned,
-                 kernel_cells_visited, soa_insert_rows)
+                 kernel_cells_visited, soa_insert_rows,
+                 prefilter_screened, prefilter_suspects, prefilter_pruned)
             )
 
     # ------------------------------------------------------------ summaries
@@ -117,6 +137,9 @@ class RefreshProfile:
             "candidates_pruned": self.candidates_pruned,
             "kernel_cells_visited": self.kernel_cells_visited,
             "soa_insert_rows": self.soa_insert_rows,
+            "prefilter_screened": self.prefilter_screened,
+            "prefilter_suspects": self.prefilter_suspects,
+            "prefilter_pruned": self.prefilter_pruned,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

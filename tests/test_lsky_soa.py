@@ -515,13 +515,97 @@ class _FakeDet:
         self.profile = P()
 
 
-def test_auto_small_windows_stay_batched():
+def test_auto_small_windows_probe_per_point_never_grid():
+    """Small-regime ineligibility: after warmup, the probe target below
+    ``_MIN_WINDOW`` is the per-point engine; grid is never picked there.
+    With the batched probe amortizing well (many rows per launch),
+    per-point stays ineligible and is never *chosen* -- even though its
+    measured ns-per-row is 10x cheaper.  The wall clock is evidence, not
+    input: the choice must be reproducible across runs."""
     eng = AutoRefresh()
     det = _FakeDet(AutoRefresh._MIN_WINDOW - 1)
+    picks = []
     for _ in range(200):
-        assert eng._pick(det) == "batched"
+        name = eng._pick(det)
+        picks.append(name)
+        assert name != "grid"
+        ns = 10_000 if name == "per-point" else 100_000
+        eng._observe(name, ns=ns, rows=10, pruned=0,
+                     batch_rows=200, launches=5)  # 40 rows/launch
         eng._boundary += 1
-    assert eng.decisions == []
+    assert picks[:AutoRefresh._WARMUP] == ["batched"] * AutoRefresh._WARMUP
+    assert "per-point" in picks   # probed once for the trace...
+    assert eng._chosen == "batched"   # ...but never chosen while amortized
+    boundary, choice, ev = eng.decisions[0]
+    assert ev["regime"] == "small"
+    assert ev["per_point_eligible"] is False
+    assert choice == "batched"
+    # ineligible per-point is not even re-probed once the trace has it
+    assert picks.count("per-point") == AutoRefresh._PROBE
+
+
+def test_auto_small_windows_settle_on_eligible_per_point():
+    """Small-regime eligibility: batched boundaries averaging under
+    ``_PP_MAX_ROWS_PER_LAUNCH`` rows per kernel launch (the batch tier is
+    pure overhead) make per-point eligible, and it is chosen on counters
+    alone."""
+    eng = AutoRefresh()
+    det = _FakeDet(AutoRefresh._MIN_WINDOW - 1)
+    for _ in range(AutoRefresh._WARMUP):
+        assert eng._pick(det) == "batched"
+        eng._observe("batched", ns=100_000, rows=10, pruned=0,
+                     batch_rows=3, launches=10)  # 0.3 rows/launch
+        eng._boundary += 1
+    for _ in range(AutoRefresh._PROBE):
+        assert eng._pick(det) == "per-point"
+        eng._observe("per-point", ns=10_000, rows=10, pruned=0)
+        eng._boundary += 1
+    assert eng._chosen == "per-point"
+    boundary, choice, ev = eng.decisions[-1]
+    assert choice == "per-point"
+    assert ev["regime"] == "small"
+    assert ev["per_point_eligible"] is True
+    # measured costs ride along as evidence only
+    assert ev["per_point_ns_per_row"] < ev["batched_ns_per_row"]
+    assert "grid_eligible" not in ev
+    assert eng._pick(det) == "per-point"
+
+
+def test_auto_regime_shift_sanitizes_choice_and_probes():
+    """Growing past ``_MIN_WINDOW`` drops a settled per-point choice (not
+    eligible in the large regime), then the large regime probes grid with
+    its own cost book -- small-regime samples do not leak."""
+    eng = AutoRefresh()
+    small = _FakeDet(AutoRefresh._MIN_WINDOW - 1)
+    for _ in range(AutoRefresh._WARMUP):
+        eng._pick(small)
+        eng._observe("batched", ns=100_000, rows=10, pruned=0,
+                     batch_rows=3, launches=10)
+        eng._boundary += 1
+    for _ in range(AutoRefresh._PROBE):
+        assert eng._pick(small) == "per-point"
+        eng._observe("per-point", ns=10_000, rows=10, pruned=0)
+        eng._boundary += 1
+    assert eng._chosen == "per-point"
+
+    large = _FakeDet(AutoRefresh._MIN_WINDOW)
+    # first large pick: stale per-point choice falls back to batched and
+    # the large regime has no grid sample yet, so grid is probed
+    assert eng._pick(large) == "grid"
+    assert eng._chosen == "batched"
+    eng._observe("grid", ns=10_000, rows=10,
+                 pruned=int(10 * AutoRefresh._MIN_PRUNE_PER_ROW))
+    eng._boundary += 1
+    assert eng._pick(large) == "grid"
+    eng._observe("grid", ns=10_000, rows=10,
+                 pruned=int(10 * AutoRefresh._MIN_PRUNE_PER_ROW))
+    eng._boundary += 1
+    # the large-regime decision compared grid against a batched cost that
+    # must come from the large regime; none exists yet -> stays batched
+    boundary, choice, ev = eng.decisions[-1]
+    assert ev["regime"] == "large"
+    assert ev["batched_ns_per_row"] is None
+    assert choice == "batched"
 
 
 def test_auto_probes_then_settles_on_measured_winner():

@@ -1,0 +1,375 @@
+"""Tiered pre-filter: exactness, adaptivity, and integration gates.
+
+The first-tier screen (``repro.core.prefilter``) may only prune points
+whose skipped scan the baseline refresh would have turned into a
+fully-safe marking at the same boundary (DESIGN.md section 14).  The
+suite pins that claim the strong way: per-boundary *outputs*, surviving
+*evidence* (per-point seqs/poss/layers/fully-safe flags), and
+``memory_units`` must be bit-identical to a ``prefilter="none"`` run --
+not merely the outlier sets -- across the Table 1 workload grid, both
+window kinds, every refresh strategy, and the sharded runtime.  Work
+counters are where the tiers are *allowed* to differ: a screened run may
+only examine fewer points, never more.
+
+Fast mode is approximate by design, but one containment theorem still
+holds: a pruned point is excluded from outlier reports while everyone
+else's evidence is untouched, so fast-mode outputs are a per-boundary
+subset of the exact outputs.  That is asserted too -- it is what makes
+"measured recall" (``benchmarks/bench_prefilter.py``) well-defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DetectorConfig,
+    OutlierQuery,
+    Point,
+    QueryGroup,
+    Runtime,
+    SOPDetector,
+    WindowSpec,
+    compare_outputs,
+    make_synthetic_points,
+)
+from repro.bench import ScaledRanges, build_workload
+from repro.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.prefilter import (
+    QnScreen,
+    SensitivityScreen,
+    build_prefilter,
+    windowed_qn_scale,
+)
+from repro.streams.source import batches_by_boundary
+
+#: compact Table 2-shaped ranges, sized so windows clear the screen's
+#: ``min_candidates`` floor and neighbor density makes pruning plausible
+RANGES = ScaledRanges(
+    r=(200.0, 2000.0),
+    k=(3, 10),
+    win=(128, 512),
+    slide=(32, 128),
+    slide_quantum=32,
+    fixed_r=700.0,
+    fixed_k=5,
+    fixed_win=256,
+    fixed_slide=64,
+)
+
+SCREENS = ("qn", "sensitivity")
+
+
+def _stream(n=1200, seed=9, **kw):
+    kw.setdefault("outlier_rate", 0.03)
+    kw.setdefault("n_clusters", 4)
+    kw.setdefault("cluster_spread", 60)
+    return make_synthetic_points(n, dim=2, seed=seed, **kw)
+
+
+def _evidence(det):
+    out = {}
+    for seq, st_ in det._states.items():
+        if st_.seqs is None:
+            out[seq] = (None, st_.fully_safe)
+        else:
+            out[seq] = ((st_.seqs.tolist(), st_.poss.tolist(),
+                         st_.layers.tolist()), st_.fully_safe)
+    return out
+
+
+def _lockstep(group, points, strategy, screen, mode="exact"):
+    """Drive baseline and screened detectors boundary-by-boundary,
+    asserting output/evidence/memory equality at every step (exact mode);
+    returns both detectors for counter checks."""
+    base = SOPDetector(group, config=DetectorConfig(
+        refresh_strategy=strategy))
+    scr = SOPDetector(group, config=DetectorConfig(
+        refresh_strategy=strategy, prefilter=screen, prefilter_mode=mode))
+    for t, batch in batches_by_boundary(points, group.swift.slide,
+                                        group.kind):
+        out_b = base.step(t, batch)
+        out_s = scr.step(t, batch)
+        if mode == "exact":
+            assert out_s == out_b, f"outputs diverge at t={t}"
+            assert _evidence(scr) == _evidence(base), (
+                f"evidence diverges at t={t}")
+            assert scr.memory_units() == base.memory_units()
+        else:
+            for qi, seqs in out_s.items():
+                assert set(seqs) <= set(out_b.get(qi, seqs)), (
+                    f"fast mode reported a non-baseline outlier at t={t}")
+    return base, scr
+
+
+# ------------------------------------------------------------ scale unit
+
+
+def test_qn_scale_zero_for_tiny_and_degenerate_windows():
+    assert (windowed_qn_scale(np.zeros((4, 3))) == 0.0).all()
+    flat = np.tile([[2.5, -1.0]], (64, 1))
+    assert (windowed_qn_scale(flat) == 0.0).all()
+
+
+def test_qn_scale_tracks_normal_sigma():
+    rng = np.random.default_rng(3)
+    mat = rng.normal(0.0, 50.0, size=(4096, 2))
+    scale = windowed_qn_scale(mat)
+    assert (np.abs(scale - 50.0) < 10.0).all()
+
+
+# ------------------------------------------------------- screen mechanics
+
+
+def _plan(k=5, r=200.0, win=256):
+    det = SOPDetector(QueryGroup([OutlierQuery(
+        r=r, k=k, window=WindowSpec(win=win, slide=64, kind="count"))]))
+    return det.plan
+
+
+def test_build_prefilter_dispatch():
+    plan = _plan()
+    assert build_prefilter(DetectorConfig(), plan) is None
+    assert isinstance(
+        build_prefilter(DetectorConfig(prefilter="qn"), plan), QnScreen)
+    assert isinstance(
+        build_prefilter(DetectorConfig(prefilter="sensitivity"), plan),
+        SensitivityScreen)
+
+
+def test_config_rejects_unsound_prefilter_combinations():
+    with pytest.raises(ValueError, match="prefilter"):
+        DetectorConfig(prefilter="bogus")
+    with pytest.raises(ValueError, match="prefilter_mode"):
+        DetectorConfig(prefilter="qn", prefilter_mode="wild")
+    with pytest.raises(ValueError, match="use_safe_inliers"):
+        DetectorConfig(prefilter="qn", use_safe_inliers=False)
+    # the certification argument needs the triangle inequality
+    with pytest.raises(ValueError, match="metric"):
+        DetectorConfig(prefilter="qn", metric="dot_bogus")
+
+
+def test_screen_backoff_trips_and_reprobes():
+    screen = QnScreen(_plan(), patience=2, backoff=5, min_prune_rate=0.5)
+    # two consecutive low-yield boundaries -> backoff
+    screen._boundary = 1
+    screen.observe(100, 0)
+    screen._boundary = 2
+    screen.observe(100, 1)
+    assert screen._disabled_until == 2 + 5
+    kinds = [k for _, k, _ in screen.decisions]
+    assert kinds == ["screened", "screened", "backoff"]
+    # a high-yield boundary after re-probe resets the streak
+    screen._boundary = 9
+    screen.observe(100, 90)
+    assert screen._low_streak == 0
+
+
+def test_screen_sits_out_tiny_windows():
+    group = QueryGroup([OutlierQuery(
+        r=200.0, k=3, window=WindowSpec(win=32, slide=8, kind="count"))])
+    det = SOPDetector(group, config=DetectorConfig(prefilter="qn"))
+    det.run(_stream(n=128, seed=4))
+    # min_candidates=64 > window: every boundary skipped
+    assert det.profile.prefilter_screened == 0
+    assert det.profile.prefilter_pruned == 0
+
+
+def test_screen_runs_are_deterministic():
+    group = build_workload("A", n_queries=4, seed=11, ranges=RANGES)
+    pts = _stream(seed=13)
+    runs = []
+    for _ in range(2):
+        det = SOPDetector(group, config=DetectorConfig(
+            prefilter="sensitivity"))
+        res = det.run(pts)
+        work = det.work_stats()
+        work.pop("refresh_ns")  # wall-clock: the one permitted difference
+        runs.append((res.outputs, dict(det.stats), work))
+    assert runs[0] == runs[1]
+
+
+# ------------------------------------------- exact-mode equivalence grid
+
+
+@pytest.mark.parametrize("spec", list("ABCDEFG"))
+@pytest.mark.parametrize("screen", SCREENS)
+def test_table1_exact_screen_is_bit_identical(spec, screen):
+    group = build_workload(spec, n_queries=5, seed=ord(spec), ranges=RANGES)
+    base, scr = _lockstep(group, _stream(seed=50 + ord(spec)), "batched",
+                          screen)
+    # exactness lemma, counter form: the skipped scans are exactly the
+    # ones the baseline turned into fully-safe markings
+    assert scr.stats["fully_safe_marked"] == base.stats["fully_safe_marked"]
+    assert scr.stats["points_examined"] <= base.stats["points_examined"]
+    assert scr.stats["ksky_runs"] <= base.stats["ksky_runs"]
+
+
+@pytest.mark.parametrize("strategy", ["per-point", "batched", "grid", "auto"])
+def test_exact_screen_across_refresh_strategies(strategy):
+    group = build_workload("C", n_queries=4, seed=23, ranges=RANGES)
+    _lockstep(group, _stream(n=900, seed=5), strategy, "qn")
+
+
+@pytest.mark.parametrize("screen", SCREENS)
+def test_exact_screen_time_windows(screen):
+    ranges = ScaledRanges(
+        r=(200.0, 2000.0), k=(3, 8), win=(96, 256), slide=(24, 96),
+        slide_quantum=24, fixed_r=700.0, fixed_k=4,
+        fixed_win=192, fixed_slide=48, kind="time",
+    )
+    group = build_workload("G", n_queries=4, seed=9, ranges=ranges)
+    base = _stream(n=900, seed=31)
+    points, clock = [], 0.0
+    for p in base:
+        clock += 0.2 + ((p.seq * 37) % 7) * 0.9
+        points.append(Point(seq=p.seq, values=p.values, time=clock))
+    _lockstep(group, points, "batched", screen)
+
+
+@pytest.mark.parametrize("screen", SCREENS)
+def test_dense_stream_actually_prunes(screen):
+    """Anti-vacuity: on a dense high-inlier stream the screen must do
+    real work (certify and prune), not just pass everything through --
+    and still match the baseline exactly."""
+    group = QueryGroup([
+        OutlierQuery(r=200.0, k=5,
+                     window=WindowSpec(win=512, slide=128, kind="count")),
+        OutlierQuery(r=300.0, k=8,
+                     window=WindowSpec(win=256, slide=128, kind="count")),
+    ])
+    pts = _stream(n=2048, seed=7, outlier_rate=0.02, cluster_spread=40)
+    base, scr = _lockstep(group, pts, "batched", screen)
+    assert scr.profile.prefilter_pruned > 0
+    assert (scr.profile.prefilter_screened
+            == scr.profile.prefilter_suspects
+            + scr.profile.prefilter_pruned)
+    assert scr.stats["points_examined"] < base.stats["points_examined"]
+
+
+@pytest.mark.parametrize("screen", SCREENS)
+def test_exact_tile_and_anchor_paths_both_exact(screen):
+    """Force each certification path (small-suffix pairwise tile vs
+    anchor ladder) and pin exactness for both."""
+    group = QueryGroup([OutlierQuery(
+        r=200.0, k=5, window=WindowSpec(win=512, slide=128, kind="count"))])
+    pts = _stream(n=2048, seed=19, outlier_rate=0.02, cluster_spread=40)
+    base = SOPDetector(group, config=DetectorConfig()).run(pts)
+    for budget in (0, 1 << 30):
+        det = SOPDetector(group, config=DetectorConfig(prefilter=screen))
+        det.prefilter.pairwise_budget = budget
+        got = det.run(pts)
+        assert got.outputs == base.outputs, f"budget={budget}"
+        assert det.profile.prefilter_pruned > 0, f"budget={budget}"
+
+
+# ------------------------------------------------------------- fast mode
+
+
+@pytest.mark.parametrize("screen", SCREENS)
+def test_fast_mode_outputs_are_subset_of_exact(screen):
+    group = build_workload("D", n_queries=4, seed=3, ranges=RANGES)
+    _lockstep(group, _stream(seed=29), "batched", screen, mode="fast")
+
+
+# --------------------------------------------------------------- sharded
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("screen", SCREENS)
+def test_sharded_exact_screen_equivalence(shards, screen):
+    group = build_workload("B", n_queries=4, seed=2, ranges=RANGES)
+    pts = _stream(n=1000, seed=41)
+    expected = SOPDetector(group).run(pts).outputs
+    run = Runtime(QueryGroup(list(group.queries)), shards=shards,
+                  config=DetectorConfig(prefilter=screen)).run(pts)
+    diffs = compare_outputs(expected, run.outputs)
+    assert not diffs, "\n".join(diffs[:10])
+    # per-shard screen tallies merge additively into the run's work dict
+    assert "prefilter_screened" in run.work
+    assert run.work["prefilter_suspects"] + run.work["prefilter_pruned"] \
+        == run.work["prefilter_screened"]
+
+
+# ------------------------------------------------------------ checkpoints
+
+
+def test_checkpoint_roundtrip_preserves_prefilter_config(tmp_path):
+    group = build_workload("E", n_queries=4, seed=41, ranges=RANGES)
+    points = _stream(n=1000, seed=19)
+    cfg = DetectorConfig(prefilter="qn")
+    batches = list(batches_by_boundary(points, group.swift.slide,
+                                       group.kind))
+    full = SOPDetector(group, config=cfg).run(points)
+
+    det = SOPDetector(group, config=cfg)
+    outputs = {}
+    half = len(batches) // 2
+    for t, batch in batches[:half]:
+        for qi, seqs in det.step(t, batch).items():
+            outputs[(qi, t)] = seqs
+    path = tmp_path / "prefilter.ckpt"
+    save_checkpoint(det, batches[half - 1][0], path)
+
+    restored, last_t = load_checkpoint(path)
+    assert restored.config.prefilter == "qn"
+    assert restored.config.prefilter_mode == "exact"
+    assert restored.prefilter is not None
+
+    # a factory that silently drops the screen fails loudly
+    with pytest.raises(ValueError, match="prefilter"):
+        load_checkpoint(path, factory=lambda g: SOPDetector(
+            g, config=DetectorConfig()))
+
+    # exactness makes the resumed screen's fresh adaptivity state
+    # harmless: outputs stay identical to the uninterrupted run
+    got = dict(outputs)
+    for t, batch in batches[half:]:
+        for qi, seqs in restored.step(t, batch).items():
+            got[(qi, t)] = seqs
+    assert got == {(qi, t): seqs for (qi, t), seqs in full.outputs.items()}
+
+
+# ---------------------------------------------------- hypothesis property
+
+
+values_2d = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+              st.floats(min_value=0.0, max_value=10.0, allow_nan=False)),
+    min_size=150, max_size=400,
+)
+
+query_params = st.tuples(
+    st.floats(min_value=0.5, max_value=8.0),    # r
+    st.integers(min_value=1, max_value=5),      # k
+    st.integers(min_value=3, max_value=8),      # win/32
+    st.integers(min_value=1, max_value=2),      # slide/32
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=values_2d,
+       params=st.lists(query_params, min_size=1, max_size=3),
+       screen=st.sampled_from(SCREENS))
+def test_property_exact_screen_equals_unscreened(values, params, screen):
+    queries = []
+    for r, k, win32, slide32 in params:
+        win, slide = win32 * 32, slide32 * 32
+        queries.append(OutlierQuery(
+            r=round(float(r), 3), k=k,
+            window=WindowSpec(win=win, slide=min(slide, win)),
+        ))
+    points = [Point(seq=i, values=(float(x), float(y)))
+              for i, (x, y) in enumerate(values)]
+    group = QueryGroup(queries)
+    base = SOPDetector(group).run(points)
+    det = SOPDetector(group, config=DetectorConfig(prefilter=screen))
+    # drop the screen floor so small hypothesis windows get screened too
+    det.prefilter.min_candidates = 16
+    got = det.run(points)
+    assert got.outputs == base.outputs
+    assert _evidence(det) is not None  # states walked without error
