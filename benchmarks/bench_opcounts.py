@@ -40,7 +40,7 @@ def test_opcount_run(benchmark, algo):
         return det.run(synthetic_stream())
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert res.work["distance_rows"] > 0
+    assert res.work_stats_snapshot()["distance_rows"] > 0
 
 
 @pytest.mark.figure("opcounts")
@@ -54,7 +54,8 @@ def test_opcount_report(benchmark):
                     rows[name].append(None)
                     continue
                 res = cls(group).run(synthetic_stream())
-                rows[name].append(float(res.work["distance_rows"]))
+                rows[name].append(
+                    float(res.work_stats_snapshot()["distance_rows"]))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)

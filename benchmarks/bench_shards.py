@@ -96,7 +96,7 @@ def _measure(group, stream, shards: int, backend: str) -> dict:
     t0 = time.perf_counter()
     result = runtime.run(stream)
     wall = time.perf_counter() - t0
-    work = result.work
+    work = result.work_stats_snapshot()
     return {
         "shards": shards,
         "backend": backend,

@@ -142,6 +142,13 @@ from .alerts import (
     CountingSink,
     run_with_alerts,
 )
+from .serve import (
+    IngestionServer,
+    ServiceEngine,
+    StreamSession,
+    WireError,
+    build_service,
+)
 from .workload_io import load_workload, save_workload
 
 __version__ = "1.0.0"
@@ -199,6 +206,7 @@ __all__ = [
     "GridIndex",
     "GridPrunedRefresh",
     "IndexedWindow",
+    "IngestionServer",
     "Merger",
     "PerPointRefresh",
     "ProcessPoolBackend",
@@ -206,14 +214,18 @@ __all__ = [
     "Runtime",
     "SafetyTracker",
     "SerialBackend",
+    "ServiceEngine",
     "ShardExecutor",
     "ShardedCheckpointSubscriber",
     "StreamExecutor",
     "StreamPartitioner",
+    "StreamSession",
+    "WireError",
     "VectorizedSkybandEngine",
     "available_metrics",
     "batches_by_boundary",
     "brute_force_outliers",
+    "build_service",
     "cells_of_block",
     "chebyshev",
     "compare_outputs",

@@ -17,9 +17,10 @@ from .core.queries import OutlierQuery, QueryGroup
 from .engine.config import DetectorConfig
 from .metrics.results import RunResult
 from .runtime import Runtime
+from .serve import build_service
 from .streams.windows import COUNT, WindowSpec
 
-__all__ = ["detect_outliers", "outlier_flags"]
+__all__ = ["build_service", "detect_outliers", "outlier_flags"]
 
 QuerySpec = Union[OutlierQuery, Tuple[float, int, int, int]]
 

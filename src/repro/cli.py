@@ -12,7 +12,10 @@ Commands:
   ``repro.runtime``) and ``--backend serial|process`` picks where the
   shard pipelines run;
 * ``compare`` -- diff two archived result files (the cross-detector
-  equivalence check, as a tool).
+  equivalence check, as a tool);
+* ``serve`` -- run the asyncio multi-tenant ingestion service (NDJSON
+  over TCP plus an HTTP control plane; see ``repro.serve``), with
+  graceful SIGTERM drain to a sharded checkpoint and ``--resume``.
 
 Everything the CLI does goes through the public library API, so the
 commands double as executable documentation.
@@ -171,6 +174,39 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--a", required=True)
     cmp_.add_argument("--b", required=True)
 
+    srv = sub.add_parser("serve", help="run the asyncio ingestion service")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7077,
+                     help="NDJSON ingest port (0 picks one)")
+    srv.add_argument("--http-port", type=int, default=7078,
+                     help="/healthz + /metrics port (0 picks one)")
+    srv.add_argument("--workload", default=None,
+                     help="workload JSON to pre-register (clients can "
+                     "also register over the wire)")
+    srv.add_argument("--queue-bound", type=int, default=1024,
+                     help="per-session ingest queue bound (backpressure)")
+    srv.add_argument("--checkpoint", default=None,
+                     help="sharded checkpoint directory (graceful drain "
+                     "writes here; enables --resume)")
+    srv.add_argument("--checkpoint-interval", type=int, default=0,
+                     help="also checkpoint every N boundaries (0: only "
+                     "on drain)")
+    srv.add_argument("--resume", action="store_true",
+                     help="restore engine state from --checkpoint")
+    srv.add_argument("--shards", type=int, default=1,
+                     help="value-partition across N detector shards")
+    srv.add_argument("--replication-radius", type=float, default=0.0,
+                     help="border replication radius (0: derive from r)")
+    srv.add_argument("--refresh-strategy",
+                     choices=("auto", "incremental", "rebuild"),
+                     default="auto")
+    srv.add_argument("--skyband-impl", choices=("object", "soa"),
+                     default="soa")
+    srv.add_argument("--prefilter", choices=("none", "qn", "sensitivity"),
+                     default="none")
+    srv.add_argument("--prefilter-mode", choices=("exact", "fast"),
+                     default="exact")
+
     return parser
 
 
@@ -284,7 +320,7 @@ def _cmd_detect(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 3
     print(result.summary())
-    work = result.work
+    work = result.work_stats_snapshot()
     print("work: " + ", ".join(
         f"{key}={work[key]}" for key in sorted(work)))
     if args.out:
@@ -298,6 +334,46 @@ def _cmd_detect(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import build_service
+
+    config = DetectorConfig(
+        shards=args.shards,
+        replication_radius=args.replication_radius,
+        refresh_strategy=args.refresh_strategy,
+        skyband_impl=args.skyband_impl,
+        prefilter=args.prefilter,
+        prefilter_mode=args.prefilter_mode,
+    )
+    queries = load_workload(args.workload) if args.workload else []
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.resume and queries:
+        print("note: --resume restores the checkpointed workload; "
+              "--workload is ignored")
+        queries = []
+
+    async def serve() -> int:
+        server = build_service(
+            config, queries=queries, host=args.host, port=args.port,
+            http_port=args.http_port, queue_bound=args.queue_bound,
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval,
+            resume=args.resume)
+        await server.start()
+        server.install_signal_handlers()
+        print(f"ingest:  {server.address[0]}:{server.address[1]}")
+        print(f"control: http://{server.http_address[0]}:"
+              f"{server.http_address[1]}/metrics", flush=True)
+        await server.stopped.wait()
+        return 0
+
+    return asyncio.run(serve())
 
 
 def _cmd_compare(args) -> int:
@@ -321,6 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "detect": _cmd_detect,
         "compare": _cmd_compare,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

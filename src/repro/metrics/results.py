@@ -64,6 +64,17 @@ class RunResult:
     def peak_memory_kb(self) -> float:
         return self.memory.peak_kb
 
+    def work_stats_snapshot(self) -> Dict[str, int]:
+        """Owned plain-dict copy of the merged work counters.
+
+        The public way to read a finished run's counters (the ``/metrics``
+        endpoint, benchmark reports, and the CLI summary all use it)
+        instead of scraping the :attr:`work` attribute directly: the copy
+        is safe to mutate or serialize, and missing counters read as 0
+        via ``dict.get`` without aliasing the result's own state.
+        """
+        return dict(self.work)
+
     def total_outliers(self) -> int:
         """Total outlier reports across all queries and boundaries."""
         return sum(len(v) for v in self.outputs.values())

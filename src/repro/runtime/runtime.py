@@ -367,6 +367,48 @@ class Runtime:
         result = runtime.resume(points, until=until)
         return runtime, result
 
+    # ----------------------------------------------------- steppable ingest
+
+    def preload(self, points: Sequence[Point]) -> None:
+        """Load already-windowed points into the live shards without
+        stepping a boundary.
+
+        The service layer's workload-rebuild hook: when the registered
+        query set changes mid-stream, a fresh runtime is built for the
+        new shared plan and the old runtime's retained window is carried
+        over here -- partitioned, ownership-recorded, and appended to
+        each shard's buffer.  Evidence is rebuilt lazily by K-SKY at the
+        next boundary, exactly like
+        :meth:`~repro.core.dynamic.DynamicSOPDetector` rebuilds.  Serial
+        backends only (live shard executors required).
+        """
+        points = [p for p in points]
+        if not points:
+            return
+        self.partitioner.ensure_bounds(points)
+        shard_batches, owners = self.partitioner.split(points)
+        self._owners.update(owners)
+        for shard in self.shards:
+            batch = shard_batches[shard.shard_id]
+            if batch:
+                shard.detector.buffer.extend(batch)
+
+    def retained_points(self) -> List[Point]:
+        """The live window, deduplicated across shards, in seq order.
+
+        Border replication stores a point in several shard buffers; this
+        is the one-copy-per-seq view a workload rebuild hands to
+        :meth:`preload` on the successor runtime.
+        """
+        seen: Dict[int, Point] = {}
+        for shard in self.shards:
+            buffer = getattr(shard.detector, "buffer", None)
+            if buffer is None:
+                continue
+            for p in buffer.points:
+                seen.setdefault(p.seq, p)
+        return [seen[s] for s in sorted(seen)]
+
     # -------------------------------------------------------------- stats
 
     def work_stats(self) -> Dict[str, int]:
@@ -374,6 +416,26 @@ class Runtime:
         return merge_work([
             shard.detector.work_stats() for shard in self.shards
         ])
+
+    def work_stats_snapshot(self) -> Dict[str, int]:
+        """Plain-dict snapshot of the live merged work counters.
+
+        The public live-metrics API (the ``/metrics`` endpoint of
+        :mod:`repro.serve` is built on it): the merged per-shard
+        counters plus the ingest guard's quarantine totals, as an
+        ordinary owned dict safe to serialize or mutate.  Additive
+        across shards and monotone over a run, like every ``work_stats``
+        counter.
+        """
+        snapshot = dict(self.work_stats())
+        if self.guard is not None and self.guard.total_quarantined:
+            snapshot["records_quarantined"] = (
+                snapshot.get("records_quarantined", 0)
+                + self.guard.total_quarantined)
+            for reason, n in self.guard.counts.items():
+                key = "quarantined_" + reason.replace("-", "_")
+                snapshot[key] = snapshot.get(key, 0) + n
+        return snapshot
 
     def memory_units(self) -> int:
         """Total evidence entries across live shards (replicas included)."""

@@ -1,0 +1,61 @@
+"""repro.serve: asyncio multi-tenant ingestion service.
+
+The serving layer wraps the sharded :class:`~repro.runtime.Runtime`
+behind newline-delimited JSON over TCP plus a tiny HTTP control plane
+(``/healthz``, ``/metrics``).  Outlier sets it emits are bit-identical
+to an offline ``Runtime.run`` over the merged stream regardless of how
+client sessions interleave -- see :mod:`repro.serve.engine` for the
+watermark argument and ``docs/architecture.md`` for the service design.
+
+Entry points: :func:`build_service` here, ``repro serve`` on the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.queries import OutlierQuery
+from ..engine.config import DetectorConfig
+from .engine import ServiceEngine
+from .http import ControlPlane
+from .protocol import ERROR_CODES, PROTOCOL_VERSION, WireError
+from .server import IngestionServer
+from .session import StreamSession
+
+__all__ = [
+    "ControlPlane",
+    "ERROR_CODES",
+    "IngestionServer",
+    "PROTOCOL_VERSION",
+    "ServiceEngine",
+    "StreamSession",
+    "WireError",
+    "build_service",
+]
+
+
+def build_service(config: Optional[DetectorConfig] = None,
+                  queries: Sequence[OutlierQuery] = (), *,
+                  host: str = "127.0.0.1", port: int = 0,
+                  http_port: int = 0, queue_bound: int = 1024,
+                  checkpoint_path=None, checkpoint_interval: int = 0,
+                  resume: bool = False) -> IngestionServer:
+    """Assemble an (unstarted) ingestion server.
+
+    With ``resume=True`` the engine is restored from the atomic sharded
+    checkpoint at ``checkpoint_path`` (queries come back in their
+    original handle order; clients re-attach with ``claim``); otherwise
+    a fresh engine starts with ``queries`` pre-registered.  Call
+    ``await server.start()`` inside a running event loop.
+    """
+    if resume:
+        if not checkpoint_path:
+            raise ValueError("resume=True requires a checkpoint_path")
+        engine = ServiceEngine.resume(
+            checkpoint_path, checkpoint_interval=checkpoint_interval)
+    else:
+        engine = ServiceEngine(config=config, queries=queries,
+                               checkpoint_path=checkpoint_path,
+                               checkpoint_interval=checkpoint_interval)
+    return IngestionServer(engine, host=host, port=port,
+                           http_port=http_port, queue_bound=queue_bound)

@@ -1,0 +1,94 @@
+"""Minimal asyncio HTTP control plane: ``/healthz`` and ``/metrics``.
+
+Deliberately tiny -- no external dependencies, HTTP/1.1 with
+``Connection: close``, JSON bodies only.  It exists so load balancers,
+``curl``, and the CI smoke job can observe a running server without
+speaking the NDJSON ingest protocol.
+
+* ``GET /healthz`` -- liveness: ``{"status": "ok"|"draining", ...}``
+  (200 while serving, 503 once draining so rotation pulls the node);
+* ``GET /metrics`` -- the full counter snapshot: service counters
+  (sessions, admissions, rejections, quarantine reasons), the engine's
+  merged ``work_stats`` (additive across shards, monotone over a run,
+  prefilter counters included), and the detector config.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Dict
+
+__all__ = ["ControlPlane"]
+
+_MAX_REQUEST_BYTES = 16 * 1024
+
+
+class ControlPlane:
+    """Serves the metrics/health snapshots of an ingestion server.
+
+    ``snapshot_fn`` returns the ``/metrics`` dict; ``health_fn`` returns
+    ``(http_status, body_dict)`` for ``/healthz``.  Both are plain
+    callables so the control plane never reaches into server internals.
+    """
+
+    def __init__(self, snapshot_fn: Callable[[], Dict],
+                 health_fn: Callable[[], tuple]):
+        self._snapshot_fn = snapshot_fn
+        self._health_fn = health_fn
+        self._server: asyncio.AbstractServer = None
+
+    async def start(self, host: str, port: int) -> tuple:
+        """Bind and serve; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------ handling
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0)
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError, ConnectionError):
+            writer.close()
+            return
+        try:
+            status, body = self._route(request[:_MAX_REQUEST_BYTES])
+            payload = json.dumps(body, indent=1, sort_keys=True,
+                                 default=str).encode("utf-8") + b"\n"
+            reason = {200: "OK", 404: "Not Found", 405: "Method Not "
+                      "Allowed", 503: "Service Unavailable"}.get(status, "")
+            writer.write(
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii") + payload)
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    def _route(self, request: bytes) -> tuple:
+        try:
+            method, path = request.split(b"\r\n", 1)[0].split(b" ")[:2]
+        except ValueError:
+            return 405, {"error": "malformed request line"}
+        path = path.split(b"?", 1)[0]
+        if method != b"GET":
+            return 405, {"error": "only GET is supported"}
+        if path == b"/healthz":
+            return self._health_fn()
+        if path == b"/metrics":
+            return 200, self._snapshot_fn()
+        return 404, {"error": f"unknown path {path.decode('ascii', 'replace')}",
+                     "paths": ["/healthz", "/metrics"]}

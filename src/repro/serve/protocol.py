@@ -1,0 +1,174 @@
+"""Wire protocol of the ingestion service: newline-delimited JSON.
+
+Every message -- client request, server reply, server push -- is one JSON
+object on one line (``\\n``-terminated, UTF-8).  Requests carry an ``op``
+field; replies carry ``ok`` (bool) and ``type``; pushes carry ``type``
+only.  The protocol is strictly request/reply per connection (one reply
+per request, in order) plus asynchronous pushes (``outliers``,
+``stream-end``, ``drained``) to subscribed sessions, so a client can
+drive it with a single reader that routes on the presence of ``ok``.
+
+Client operations
+-----------------
+
+====================  =====================================================
+``hello``             open a session: ``{"op":"hello","tenant":str,
+                      "admission":"block"|"reject"}``
+``register``          register an outlier query: ``{"op":"register",
+                      "query":{"r":..,"k":..,"win":..,"slide":..,
+                      "kind":"count"|"time"}}`` -> handle
+``claim``             subscribe to an existing handle (resume path)
+``deregister``        withdraw a handle this session registered/claimed
+``points``            ingest records: ``{"op":"points","records":
+                      [[seq,[v,..]],[seq,[v,..],time],..]}``
+``subscribe``         receive per-boundary ``outliers`` pushes for this
+                      session's handles
+``stat``              engine statistics (last boundary, counters)
+``end``               no more points from this session (its watermark
+                      becomes +inf once its queue drains)
+====================  =====================================================
+
+Typed errors
+------------
+
+Failures are never silent: every rejected request gets
+``{"ok":false,"type":"error","error":{"code":..,"message":..,...}}``
+with a machine-readable ``code`` from :data:`ERROR_CODES` (and, for
+``queue-full``, the queue ``capacity``/``pending`` so the producer can
+size its retry).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence
+
+from ..core.queries import OutlierQuery
+from ..streams.windows import COUNT, TIME, WindowSpec
+
+__all__ = [
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+    "WireError",
+    "decode_line",
+    "encode",
+    "error_message",
+    "outliers_message",
+    "parse_query",
+]
+
+#: protocol version announced in the ``hello`` reply
+PROTOCOL_VERSION = 1
+
+#: every typed rejection code the server can emit
+ERROR_CODES = (
+    "bad-request",      # unparseable JSON / missing required fields
+    "unknown-op",       # op not in the table above
+    "no-session",       # an op before hello
+    "queue-full",       # admission rejected: bounded queue cannot take the batch
+    "batch-too-large",  # a single points op larger than the queue bound
+    "draining",         # server is shutting down; not admitting
+    "no-queries",       # points sent while no query is registered
+    "unknown-handle",   # claim/deregister of a handle that does not exist
+    "not-owner",        # deregister of a handle another session owns
+    "ended",            # points after this session sent end
+)
+
+
+class WireError(Exception):
+    """A typed protocol rejection; becomes one ``error`` reply line.
+
+    ``code`` is one of :data:`ERROR_CODES`; ``detail`` keys are merged
+    into the error object verbatim (e.g. ``capacity``/``pending`` for
+    ``queue-full``).
+    """
+
+    def __init__(self, code: str, message: str, **detail):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+    def payload(self) -> dict:
+        err = {"code": self.code, "message": self.message}
+        err.update(self.detail)
+        return {"ok": False, "type": "error", "error": err}
+
+
+def encode(obj: Mapping) -> bytes:
+    """One wire line for a message object (compact JSON + newline)."""
+    return (json.dumps(obj, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`WireError` on garbage."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError("bad-request", f"unparseable line: {exc}") from None
+    if not isinstance(obj, dict):
+        raise WireError("bad-request", "a message must be a JSON object")
+    return obj
+
+
+def parse_query(payload) -> OutlierQuery:
+    """Build the OutlierQuery described by a ``register`` payload."""
+    if not isinstance(payload, Mapping):
+        raise WireError("bad-request", "query must be an object with "
+                        "r, k, win, slide (and optional kind, name)")
+    try:
+        kind = str(payload.get("kind", COUNT))
+        if kind not in (COUNT, TIME):
+            raise WireError(
+                "bad-request",
+                f"kind must be {COUNT!r} or {TIME!r}, got {kind!r}")
+        return OutlierQuery(
+            r=float(payload["r"]),
+            k=int(payload["k"]),
+            window=WindowSpec(win=int(payload["win"]),
+                              slide=int(payload["slide"]), kind=kind),
+            name=payload.get("name") or "",
+        )
+    except WireError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError("bad-request", f"bad query: {exc}") from None
+
+
+def query_payload(query: OutlierQuery) -> dict:
+    """The wire form of a query (``claim`` replies, ``stat``)."""
+    return {
+        "r": query.r, "k": query.k, "win": query.window.win,
+        "slide": query.window.slide, "kind": query.kind,
+        "name": query.name,
+    }
+
+
+def error_message(exc: WireError) -> bytes:
+    return encode(exc.payload())
+
+
+def ok_message(type_: str, **fields) -> bytes:
+    msg = {"ok": True, "type": type_}
+    msg.update(fields)
+    return encode(msg)
+
+
+def outliers_message(t: int, outputs: Mapping[int, FrozenSet[int]],
+                     handles: Optional[Sequence[int]] = None) -> bytes:
+    """One boundary's outputs, restricted to ``handles`` when given.
+
+    Outlier seqs are sorted so the line is deterministic; JSON object
+    keys are strings, so handles are stringified (clients ``int()`` them
+    back).
+    """
+    keep = outputs if handles is None else {
+        h: outputs[h] for h in handles if h in outputs
+    }
+    body: Dict[str, list] = {
+        str(h): sorted(seqs) for h, seqs in sorted(keep.items())
+    }
+    return encode({"type": "outliers", "t": int(t), "outputs": body})

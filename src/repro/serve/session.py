@@ -1,0 +1,160 @@
+"""StreamSession: one client connection's ingestion state.
+
+Each session owns a bounded :class:`asyncio.Queue` of validated points, an
+:class:`~repro.streams.source.IngestGuard` (poison records are quarantined
+per session, so one tenant's garbage never stalls another's stream), and
+its slice of the watermark bookkeeping the engine's determinism rests on.
+
+Backpressure, two ways
+----------------------
+
+* ``admission="block"`` (default): :meth:`admit_records` awaits
+  ``queue.put`` -- when the bound is hit, the session's reader coroutine
+  suspends, the server stops reading that socket, and the producer's TCP
+  window eventually fills.  Classic slow-producer pushback; nothing is
+  dropped and no reply is sent until the whole batch is queued.
+* ``admission="reject"``: a batch that cannot fit entirely gets the typed
+  ``queue-full`` rejection (with ``capacity`` and ``pending``) and *none*
+  of it is enqueued -- all-or-nothing, so the producer can retry the
+  identical batch without tripping the guard's seq-regression check.
+  Never a silent drop: rejected batches are counted and reported.
+
+A single ``points`` op larger than the whole queue bound is rejected as
+``batch-too-large`` in both modes (it could never fit at once).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+from ..core.point import Point
+from ..streams.source import IngestGuard
+from ..streams.windows import COUNT
+from .protocol import WireError
+
+__all__ = ["StreamSession"]
+
+ADMISSION_MODES = ("block", "reject")
+
+
+class StreamSession:
+    """Per-connection ingestion state: queue, guard, watermark, handles."""
+
+    def __init__(self, sid: int, tenant: str, queue_bound: int,
+                 kind: str = COUNT, admission: str = "block",
+                 producer: bool = True):
+        if admission not in ADMISSION_MODES:
+            raise WireError("bad-request",
+                            f"admission must be one of {ADMISSION_MODES}, "
+                            f"got {admission!r}")
+        if queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1")
+        self.sid = sid
+        self.tenant = tenant
+        self.kind = kind
+        self.admission = admission
+        self.queue: "asyncio.Queue[Point]" = asyncio.Queue(queue_bound)
+        self.queue_bound = queue_bound
+        self.guard = IngestGuard()
+        #: handles this session registered or claimed (push targets)
+        self.handles: List[int] = []
+        self.subscribed = False
+        #: True for watermark participants.  Producers (the default) hold
+        #: the watermark from ``hello`` on -- their first record could be
+        #: positioned anywhere, so no boundary may be processed before
+        #: they deliver or end.  ``producer=false`` sessions
+        #: (control-plane/dashboard clients) never hold boundaries back,
+        #: but join the watermark anyway if they ever send points.
+        self.streaming = bool(producer)
+        #: no more points from this client (end op or EOF)
+        self.ended = False
+        #: position of the last record handed to the engine (drain loop)
+        self.fed_watermark = float("-inf")
+        self.closed = False
+        # monotone per-session counters
+        self.records_admitted = 0
+        self.records_rejected = 0
+        #: serializes reply/push writes on this connection
+        self.write_lock = asyncio.Lock()
+
+    # ----------------------------------------------------------- positions
+
+    def _position(self, point: Point) -> float:
+        return float(point.seq) if self.kind == COUNT else point.time
+
+    @property
+    def effective_watermark(self) -> float:
+        """This session's contribution to the global watermark.
+
+        ``+inf`` once the session ended *and* its queue is drained (it
+        can never again deliver a record); otherwise the position of the
+        last record the engine consumed.  Guard monotonicity makes this
+        sound: no future record of this session is positioned below it.
+        """
+        if self.ended and self.queue.empty():
+            return float("inf")
+        return self.fed_watermark
+
+    # ------------------------------------------------------------- ingest
+
+    def validate(self, records) -> Tuple[List[Point], int]:
+        """Guard a raw record batch; ``(admitted points, quarantined)``."""
+        before = self.guard.total_quarantined
+        points = self.guard.filter(records)
+        return points, self.guard.total_quarantined - before
+
+    async def admit_records(self, records) -> Tuple[int, int]:
+        """Admit one ``points`` op; ``(admitted, quarantined)`` counts.
+
+        Raises :class:`WireError` (typed, never a silent drop) when the
+        session already ended, when the batch exceeds the queue bound, or
+        -- in reject mode -- when it does not currently fit.
+        """
+        if self.ended:
+            raise WireError("ended", "session already sent end")
+        records = list(records)
+        if len(records) > self.queue_bound:
+            raise WireError(
+                "batch-too-large",
+                f"batch of {len(records)} exceeds the queue bound",
+                capacity=self.queue_bound, batch=len(records))
+        if self.admission == "reject":
+            free = self.queue_bound - self.queue.qsize()
+            if len(records) > free:
+                # before the guard sees the records: the producer can
+                # retry the identical batch without seq regressions
+                self.records_rejected += len(records)
+                raise WireError(
+                    "queue-full",
+                    f"queue has {free} free slot(s), batch needs "
+                    f"{len(records)}; retry after draining",
+                    capacity=self.queue_bound,
+                    pending=self.queue.qsize(), batch=len(records))
+        self.streaming = True
+        points, quarantined = self.validate(records)
+        for p in points:
+            if self.admission == "reject":
+                self.queue.put_nowait(p)  # capacity checked above
+            else:
+                await self.queue.put(p)  # blocks: slow-producer pushback
+        self.records_admitted += len(points)
+        return len(points), quarantined
+
+    def pop_nowait(self) -> Optional[Point]:
+        """One queued point for the drain loop (None when empty)."""
+        try:
+            point = self.queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+        self.fed_watermark = self._position(point)
+        return point
+
+    def end(self) -> None:
+        """No more points from this session (op ``end`` or EOF)."""
+        self.ended = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"StreamSession(sid={self.sid}, tenant={self.tenant!r}, "
+                f"queued={self.queue.qsize()}/{self.queue_bound}, "
+                f"ended={self.ended})")

@@ -19,6 +19,16 @@ from repro import (
 )
 
 
+def pytest_collection_modifyitems(items):
+    # Everything under tests/serving/ is the asyncio service e2e suite:
+    # deterministic and in-process, but it exercises real sockets and an
+    # event loop, so CI runs it as its own job (``pytest -m serving``)
+    # and the tier-1 leg deselects it.
+    for item in items:
+        if "serving" in str(getattr(item, "fspath", "")):
+            item.add_marker(pytest.mark.serving)
+
+
 def line_points(values, start_seq=0, times=None):
     """1-D points from a list of scalars (controlled-distance streams)."""
     if times is None:

@@ -1,0 +1,200 @@
+"""Deterministic async test helpers for the ingestion service.
+
+No pytest-asyncio: tests are plain functions that hand a coroutine to
+:func:`run_async`, which runs it on a fresh event loop under a hard
+timeout (a hung service fails loudly instead of wedging the suite).
+
+:class:`ServiceClient` is a scripted NDJSON client with a background
+reader that routes request replies (``ok`` present) to a queue and
+asynchronous pushes (``outliers`` / ``stream-end`` / ``drained``) into
+collected state, mirroring how a real client multiplexes one socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import random
+
+from repro.engine.config import DetectorConfig
+from repro.serve import build_service
+
+DEFAULT_TIMEOUT = 120.0
+
+
+def run_async(coro, timeout: float = DEFAULT_TIMEOUT):
+    """Run a test coroutine on a fresh loop with a hard timeout."""
+    async def bounded():
+        return await asyncio.wait_for(coro, timeout)
+    return asyncio.run(bounded())
+
+
+def record(point):
+    """The wire form of a Point: ``[seq, [values...], time]``."""
+    return [point.seq, list(point.values), point.time]
+
+
+def query_dict(query):
+    """The wire form of an OutlierQuery for the ``register`` op."""
+    return {"r": query.r, "k": query.k, "win": query.window.win,
+            "slide": query.window.slide, "kind": query.kind}
+
+
+@contextlib.asynccontextmanager
+async def running_server(config=None, queries=(), **kwargs):
+    """An in-process server on ephemeral ports, shut down on exit."""
+    if config is None:
+        config = DetectorConfig()
+    server = build_service(config, queries=queries, host="127.0.0.1",
+                           port=0, http_port=0, **kwargs)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.shutdown()
+
+
+async def http_get(address, path):
+    """Minimal HTTP GET against the control plane: (status, json body)."""
+    reader, writer = await asyncio.open_connection(*address)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode("ascii"))
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), json.loads(body)
+
+
+class ServiceClient:
+    """A scripted NDJSON client for one session."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.replies: "asyncio.Queue[dict]" = asyncio.Queue()
+        #: (handle, boundary) -> outlier seqs, accumulated from pushes
+        self.outputs = {}
+        self.handles = []
+        self.stream_end = asyncio.Event()
+        self.drained = asyncio.Event()
+        self.drained_info = None
+        self.hello = None
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, address, tenant="tenant", admission="block",
+                      producer=True):
+        reader, writer = await asyncio.open_connection(*address)
+        client = cls(reader, writer)
+        client.hello = await client.call("hello", tenant=tenant,
+                                         admission=admission,
+                                         producer=producer)
+        assert client.hello["ok"], client.hello
+        return client
+
+    async def _read_loop(self):
+        while True:
+            line = await self.reader.readline()
+            if not line:
+                break
+            msg = json.loads(line)
+            if "ok" in msg:
+                await self.replies.put(msg)
+                continue
+            kind = msg.get("type")
+            if kind == "outliers":
+                for handle, seqs in msg["outputs"].items():
+                    self.outputs[(int(handle), int(msg["t"]))] = (
+                        frozenset(seqs))
+            elif kind == "stream-end":
+                self.stream_end.set()
+            elif kind == "drained":
+                self.drained_info = msg
+                self.drained.set()
+
+    # --------------------------------------------------------------- ops
+
+    async def send(self, op, **fields):
+        """Fire one request without waiting for its reply."""
+        self.writer.write(
+            (json.dumps({"op": op, **fields}) + "\n").encode("utf-8"))
+        await self.writer.drain()
+
+    async def reply(self, timeout=30.0):
+        return await asyncio.wait_for(self.replies.get(), timeout)
+
+    async def call(self, op, **fields):
+        await self.send(op, **fields)
+        return await self.reply()
+
+    async def ok(self, op, **fields):
+        msg = await self.call(op, **fields)
+        assert msg["ok"], f"{op} failed: {msg}"
+        return msg
+
+    async def register(self, query) -> int:
+        handle = (await self.ok("register", query=query_dict(query)))["handle"]
+        self.handles.append(handle)
+        return handle
+
+    async def claim(self, handle) -> None:
+        await self.ok("claim", handle=handle)
+        self.handles.append(handle)
+
+    async def subscribe(self):
+        await self.ok("subscribe")
+
+    async def stream(self, points, chunk=32, rng=None):
+        """Send points in chunks, yielding between sends.
+
+        ``rng`` (a seeded ``random.Random``) makes the interleaving with
+        other clients varied but reproducible: chunk sizes jitter and an
+        occasional real sleep lets the drain loop overtake the senders.
+        """
+        i = 0
+        while i < len(points):
+            n = chunk if rng is None else rng.randint(1, chunk)
+            await self.ok("points",
+                          records=[record(p) for p in points[i:i + n]])
+            i += n
+            if rng is not None and rng.random() < 0.2:
+                await asyncio.sleep(0.001)
+            else:
+                await asyncio.sleep(0)
+
+    async def end(self):
+        await self.ok("end")
+
+    async def stat(self) -> dict:
+        return (await self.ok("stat"))["engine"]
+
+    async def close(self):
+        self._reader_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._reader_task
+        self.writer.close()
+
+
+async def connect_clients(server, n, **kwargs):
+    return [await ServiceClient.connect(server.address, tenant=f"t{i}",
+                                        **kwargs) for i in range(n)]
+
+
+async def close_clients(clients):
+    for c in clients:
+        await c.close()
+
+
+def merged_outputs(clients) -> dict:
+    """Union of per-client collected pushes; asserts no conflicts."""
+    union = {}
+    for c in clients:
+        for key, seqs in c.outputs.items():
+            assert union.setdefault(key, seqs) == seqs, (
+                f"clients disagree at {key}")
+    return union
+
+
+def interleave_rng(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,214 @@
+"""Backpressure and admission control: bounded queues, typed errors.
+
+Rejections are never silent: every refused batch gets a typed error
+with retry-sizing detail, every poison record is quarantined and
+counted, and all of it is visible in ``/metrics``.  The drain loop's
+pause/resume test hooks make queue pressure deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import OutlierQuery, WindowSpec, make_synthetic_points
+from repro.engine.config import DetectorConfig
+
+from helpers import (
+    ServiceClient,
+    http_get,
+    record,
+    run_async,
+    running_server,
+)
+
+pytestmark = pytest.mark.serving
+
+QUERY = OutlierQuery(r=500.0, k=4, window=WindowSpec(win=80, slide=20))
+POINTS = make_synthetic_points(200, dim=2, outlier_rate=0.05, seed=5)
+
+
+def test_reject_mode_queue_full_is_typed_and_all_or_nothing():
+    async def scenario():
+        async with running_server(DetectorConfig(),
+                                  queue_bound=8) as server:
+            client = await ServiceClient.connect(server.address,
+                                                 admission="reject")
+            await client.register(QUERY)
+            server.pause_drain()
+            first = await client.call(
+                "points", records=[record(p) for p in POINTS[:6]])
+            assert first["ok"] and first["admitted"] == 6
+            # 6 queued, 2 free: a batch of 6 must be refused whole
+            refused = await client.call(
+                "points", records=[record(p) for p in POINTS[6:12]])
+            assert not refused["ok"]
+            err = refused["error"]
+            assert err["code"] == "queue-full"
+            assert err["capacity"] == 8
+            assert err["pending"] == 6
+            assert err["batch"] == 6
+            # nothing of the refused batch was enqueued
+            _, metrics = await http_get(server.http_address, "/metrics")
+            assert metrics["service"]["queue"]["depth"] == 6
+            assert metrics["service"]["records"]["rejected"] == 6
+            assert metrics["service"]["records"]["admitted"] == 6
+            server.resume_drain()
+            # wait for the queue to drain, then the identical batch is
+            # admitted -- no seq-regression quarantine from the retry
+            while (await client.stat())["records_ingested"] < 6:
+                await asyncio.sleep(0.01)
+            retried = await client.call(
+                "points", records=[record(p) for p in POINTS[6:12]])
+            assert retried["ok"] and retried["admitted"] == 6
+            assert retried["quarantined"] == 0
+            await client.close()
+
+    run_async(scenario())
+
+
+def test_block_mode_delays_ack_until_drain_resumes():
+    async def scenario():
+        async with running_server(DetectorConfig(),
+                                  queue_bound=4) as server:
+            client = await ServiceClient.connect(server.address,
+                                                 admission="block")
+            await client.register(QUERY)
+            server.pause_drain()
+            filled = await client.call(
+                "points", records=[record(p) for p in POINTS[:4]])
+            assert filled["ok"] and filled["admitted"] == 4
+            # the queue is full: the next batch must block, not drop
+            await client.send(
+                "points", records=[record(p) for p in POINTS[4:6]])
+            with pytest.raises(asyncio.TimeoutError):
+                await client.reply(timeout=0.2)
+            server.resume_drain()
+            blocked = await client.reply(timeout=10.0)
+            assert blocked["ok"] and blocked["admitted"] == 2
+            _, metrics = await http_get(server.http_address, "/metrics")
+            assert metrics["service"]["records"]["admitted"] == 6
+            assert metrics["service"]["records"]["rejected"] == 0
+            await client.close()
+
+    run_async(scenario())
+
+
+def test_batch_larger_than_queue_bound_is_typed_in_both_modes():
+    async def scenario():
+        async with running_server(DetectorConfig(),
+                                  queue_bound=8) as server:
+            for admission in ("block", "reject"):
+                client = await ServiceClient.connect(server.address,
+                                                     admission=admission)
+                if admission == "block":
+                    await client.register(QUERY)
+                refused = await client.call(
+                    "points", records=[record(p) for p in POINTS[:9]])
+                assert not refused["ok"]
+                assert refused["error"]["code"] == "batch-too-large"
+                assert refused["error"]["capacity"] == 8
+                await client.close()
+
+    run_async(scenario())
+
+
+def test_poison_records_quarantined_with_exact_counts():
+    async def scenario():
+        async with running_server(DetectorConfig()) as server:
+            client = await ServiceClient.connect(server.address)
+            await client.register(QUERY)
+            good = [record(p) for p in POINTS[:5]]
+            poison = [
+                [5, [float("nan"), 1.0]],       # non-finite
+                [3, [1.0, 2.0]],                # seq regression (< 5)
+                [6, [1.0]],                      # dim mismatch (learned 2)
+                "garbage",                       # malformed
+                [7, [1.0, 2.0]],                # fine
+            ]
+            reply = await client.call("points", records=good + poison)
+            assert reply["ok"]
+            assert reply["admitted"] == 6
+            assert reply["quarantined"] == 4
+            _, metrics = await http_get(server.http_address, "/metrics")
+            reasons = metrics["service"]["quarantined_reasons"]
+            assert reasons == {"non-finite": 1, "seq-regression": 1,
+                               "dim-mismatch": 1, "malformed": 1}
+            assert metrics["service"]["records"]["quarantined"] == 4
+            await client.close()
+
+    run_async(scenario())
+
+
+def test_typed_protocol_rejections():
+    async def scenario():
+        async with running_server(DetectorConfig()) as server:
+            # an op before hello
+            reader, writer = await asyncio.open_connection(*server.address)
+            writer.write(b'{"op":"points","records":[]}\n')
+            await writer.drain()
+            msg = json.loads(await reader.readline())
+            assert not msg["ok"] and msg["error"]["code"] == "no-session"
+            # unparseable JSON
+            writer.write(b'this is not json\n')
+            await writer.drain()
+            msg = json.loads(await reader.readline())
+            assert not msg["ok"] and msg["error"]["code"] == "bad-request"
+            writer.close()
+
+            client = await ServiceClient.connect(server.address)
+            # points with no registered query
+            refused = await client.call("points",
+                                        records=[record(POINTS[0])])
+            assert refused["error"]["code"] == "no-queries"
+            # unknown op
+            unknown = await client.call("frobnicate")
+            assert unknown["error"]["code"] == "unknown-op"
+            # claim of a handle that does not exist
+            missing = await client.call("claim", handle=42)
+            assert missing["error"]["code"] == "unknown-handle"
+            # deregister of someone else's handle
+            owner = await ServiceClient.connect(server.address)
+            handle = await owner.register(QUERY)
+            stolen = await client.call("deregister", handle=handle)
+            assert stolen["error"]["code"] == "not-owner"
+            # points after end
+            await client.end()
+            late = await client.call("points", records=[record(POINTS[0])])
+            assert late["error"]["code"] == "ended"
+            await client.close()
+            await owner.close()
+
+    run_async(scenario())
+
+
+def test_round_robin_fairness_under_flood():
+    """A flooding tenant cannot starve a trickling one: the per-cycle
+    quota caps the flooder while the trickler's whole backlog moves."""
+    async def scenario():
+        async with running_server(DetectorConfig(),
+                                  queue_bound=64) as server:
+            server.drain_quota = 8
+            flood = await ServiceClient.connect(server.address,
+                                                tenant="flood")
+            trickle = await ServiceClient.connect(server.address,
+                                                  tenant="trickle")
+            await flood.register(QUERY)
+            await trickle.claim(flood.handles[0])
+            server.pause_drain()
+            await flood.ok("points",
+                           records=[record(p) for p in POINTS[0::2][:30]])
+            await trickle.ok("points",
+                             records=[record(p) for p in POINTS[1::2][:3]])
+            # one fair cycle: flooder capped at the quota, trickler fully
+            # served -- 8 + 3 records reach the engine
+            assert server._drain_cycle() == 11
+            assert server.engine.records_ingested == 11
+            assert flood.hello["session"] != trickle.hello["session"]
+            server.resume_drain()
+            await flood.close()
+            await trickle.close()
+
+    run_async(scenario())

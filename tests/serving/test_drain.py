@@ -1,0 +1,156 @@
+"""Graceful drain and resume: SIGTERM mid-stream loses nothing.
+
+The drill mirrors tests/test_fault_recovery.py, but over the wire: a
+client streams a prefix, the server is torn down mid-stream (signal
+handler or direct shutdown), the drain flushes exactly the boundaries
+the watermark proves complete and writes one atomic sharded
+checkpoint, and a resumed server -- fed the *full* stream again by a
+re-attaching client -- answers the remaining boundaries so the union
+is bit-exact versus an uninterrupted offline run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+
+import pytest
+
+from repro import (
+    OutlierQuery,
+    QueryGroup,
+    Runtime,
+    WindowSpec,
+    compare_outputs,
+    make_synthetic_points,
+)
+from repro.engine.config import DetectorConfig
+
+from helpers import ServiceClient, run_async, running_server
+
+pytestmark = pytest.mark.serving
+
+QUERIES = [
+    OutlierQuery(r=600.0, k=4, window=WindowSpec(win=120, slide=40)),
+    OutlierQuery(r=350.0, k=6, window=WindowSpec(win=80, slide=40)),
+]
+POINTS = make_synthetic_points(500, dim=2, outlier_rate=0.05, seed=23)
+SHARDS = 2
+
+
+async def stream_prefix_then_stop(ckpt, n_prefix, stop):
+    """Phase 1: stream a prefix, tear the server down via ``stop``.
+
+    Returns (outputs collected before the drain, drained push payload).
+    """
+    async with running_server(DetectorConfig(shards=SHARDS),
+                              checkpoint_path=ckpt) as server:
+        client = await ServiceClient.connect(server.address)
+        for q in QUERIES:
+            await client.register(q)
+        await client.subscribe()
+        await client.stream(POINTS[:n_prefix], chunk=40)
+        # let the drain loop answer every boundary the prefix completes
+        slide = (await client.stat())["slide"]
+        target = ((n_prefix - 1) // slide) * slide
+        while (await client.stat())["last_boundary"] < target:
+            await asyncio.sleep(0.01)
+        await stop(server)
+        await asyncio.wait_for(client.drained.wait(), 30)
+        await asyncio.wait_for(server.stopped.wait(), 30)
+        drained = client.drained_info
+        outputs = dict(client.outputs)
+        await client.close()
+        return outputs, drained
+
+
+async def resume_and_replay(ckpt):
+    """Phase 2: resume from the checkpoint, replay the full stream."""
+    async with running_server(checkpoint_path=ckpt, resume=True) as server:
+        client = await ServiceClient.connect(server.address)
+        assert client.hello["resumed_at"] > 0
+        for handle in range(len(QUERIES)):
+            await client.claim(handle)
+        await client.subscribe()
+        await client.stream(POINTS, chunk=40)  # full replay, from seq 0
+        await client.end()
+        await asyncio.wait_for(client.stream_end.wait(), 60)
+        stat = await client.stat()
+        outputs = dict(client.outputs)
+        await client.close()
+        return outputs, stat
+
+
+def assert_drain_resume_bit_exact(before, drained, tmp_path):
+    boundary = drained["checkpoint_boundary"]
+    assert boundary and boundary > 0
+    # the checkpoint is the atomic sharded layout: manifest + segments
+    manifest = json.loads((tmp_path / "ckpt").read_text())
+    assert manifest["last_boundary"] == boundary
+    assert manifest["shards"] == SHARDS
+    for name in manifest["segments"]:
+        assert (tmp_path / name).exists()
+    # every pre-drain push was a complete boundary at or below it
+    assert before, "no outputs collected before the drain"
+    assert max(t for _, t in before) == boundary
+
+    after, stat = run_async(resume_and_replay(tmp_path / "ckpt"))
+    # replayed records at positions the checkpoint already covers are
+    # skipped, not reprocessed
+    assert stat["records_replay_skipped"] == boundary
+    assert after and min(t for _, t in after) == boundary + 40
+
+    union = dict(before)
+    union.update(after)
+    offline = Runtime(QueryGroup(QUERIES),
+                      config=DetectorConfig(shards=SHARDS)).run(POINTS)
+    diffs = compare_outputs(offline.outputs, union)
+    assert not diffs, "\n".join(diffs[:10])
+    assert len(union) == len(offline.outputs)
+
+
+def test_shutdown_drain_then_resume_is_bit_exact(tmp_path):
+    async def stop(server):
+        await server.shutdown(reason="test")
+
+    before, drained = run_async(
+        stream_prefix_then_stop(tmp_path / "ckpt", 300, stop))
+    assert_drain_resume_bit_exact(before, drained, tmp_path)
+
+
+def test_sigterm_handler_drains_and_checkpoints(tmp_path):
+    async def stop(server):
+        server.install_signal_handlers(asyncio.get_running_loop())
+        os.kill(os.getpid(), signal.SIGTERM)
+
+    before, drained = run_async(
+        stream_prefix_then_stop(tmp_path / "ckpt", 260, stop))
+    assert_drain_resume_bit_exact(before, drained, tmp_path)
+
+
+def test_draining_server_refuses_new_work(tmp_path):
+    async def scenario():
+        async with running_server(DetectorConfig(),
+                                  checkpoint_path=tmp_path / "c") as server:
+            client = await ServiceClient.connect(server.address)
+            await client.register(QUERIES[0])
+            await client.subscribe()
+            await client.stream(POINTS[:100], chunk=50)
+            drain_task = asyncio.create_task(server.shutdown())
+            await asyncio.wait_for(client.drained.wait(), 30)
+            await drain_task
+            # new connections are refused outright (listener closed) or
+            # rejected with the typed draining error
+            try:
+                late = await asyncio.wait_for(
+                    ServiceClient.connect(server.address), 2)
+            except (OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                return
+            assert not late.hello["ok"]
+            assert late.hello["error"]["code"] == "draining"
+            await late.close()
+
+    run_async(scenario())

@@ -1,0 +1,186 @@
+"""Golden service equivalence: concurrent sessions == offline run.
+
+The service's determinism contract: outlier sets pushed to subscribers
+are **bit-identical** to an offline ``Runtime.run`` over the merged
+stream, regardless of how many clients stream concurrently, how their
+sends interleave, or how the stream is sharded.  This pins it over a
+Table 1 grid subset x {1, 4} shards x both window kinds, with four
+concurrent sessions driving seeded, jittered interleavings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+
+import pytest
+
+from repro import (
+    DynamicSOPDetector,
+    QueryGroup,
+    Runtime,
+    compare_outputs,
+    make_synthetic_points,
+)
+from repro.bench import ScaledRanges, build_workload
+from repro.engine.config import DetectorConfig
+from repro.streams.source import batches_by_boundary
+from repro.streams.windows import TIME
+
+from helpers import (
+    ServiceClient,
+    close_clients,
+    connect_clients,
+    interleave_rng,
+    merged_outputs,
+    run_async,
+    running_server,
+)
+
+pytestmark = pytest.mark.serving
+
+#: compact Table 2 ranges (same shape as tests/test_runtime_equivalence)
+TEST_RANGES = ScaledRanges(
+    r=(200.0, 2000.0),
+    k=(3, 12),
+    win=(80, 320),
+    slide=(20, 80),
+    slide_quantum=20,
+    fixed_r=700.0,
+    fixed_k=5,
+    fixed_win=160,
+    fixed_slide=40,
+)
+
+N_CLIENTS = 4
+N_POINTS = 600
+
+
+def grid_workload(spec: str, kind: str = "count") -> QueryGroup:
+    ranges = (TEST_RANGES if kind == "count"
+              else replace(TEST_RANGES, kind=TIME))
+    return build_workload(spec, 3, seed=ord(spec), ranges=ranges)
+
+
+async def serve_merged_stream(config, queries, points, seed):
+    """Drive N_CLIENTS concurrent sessions; the union of their pushes.
+
+    Client 0 registers the workload (so handles land in group order);
+    the others claim the handles.  Every client subscribes, streams a
+    round-robin slice with a seeded jittered chunking, ends, and waits
+    for the stream-end push.
+    """
+    async with running_server(config) as server:
+        clients = await connect_clients(server, N_CLIENTS)
+        for query in queries:
+            await clients[0].register(query)
+        for client in clients[1:]:
+            for handle in clients[0].handles:
+                await client.claim(handle)
+        for client in clients:
+            await client.subscribe()
+        await asyncio.gather(*[
+            client.stream(points[i::N_CLIENTS], chunk=40,
+                          rng=interleave_rng(seed * 31 + i))
+            for i, client in enumerate(clients)
+        ])
+        for client in clients:
+            await client.end()
+        await asyncio.gather(*[
+            asyncio.wait_for(c.stream_end.wait(), 60) for c in clients
+        ])
+        union = merged_outputs(clients)
+        await close_clients(clients)
+        return union
+
+
+def assert_service_equivalent(queries, points, shards, seed=0):
+    config = DetectorConfig(shards=shards)
+    served = run_async(serve_merged_stream(config, queries, points, seed))
+    offline = Runtime(QueryGroup(queries), config=config).run(points)
+    diffs = compare_outputs(offline.outputs, served)
+    assert not diffs, "\n".join(diffs[:10])
+    assert len(served) == len(offline.outputs)
+
+
+# ----------------------------------------------------- Table 1 grid leg
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("spec", ["A", "C", "G"])
+def test_grid_count_windows(spec, shards):
+    queries = list(grid_workload(spec).queries)
+    points = make_synthetic_points(N_POINTS, dim=2, outlier_rate=0.04,
+                                   seed=ord(spec))
+    assert_service_equivalent(queries, points, shards, seed=ord(spec))
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("spec", ["A", "G"])
+def test_grid_time_windows(spec, shards):
+    queries = list(grid_workload(spec, kind="time").queries)
+    points = make_synthetic_points(N_POINTS, dim=2, outlier_rate=0.04,
+                                   seed=100 + ord(spec))
+    assert_service_equivalent(queries, points, shards, seed=7 * ord(spec))
+
+
+def test_interleavings_vary_but_outputs_do_not():
+    """Three different seeded interleavings, one identical answer."""
+    queries = list(grid_workload("G").queries)
+    points = make_synthetic_points(400, dim=2, outlier_rate=0.05, seed=3)
+    config = DetectorConfig(shards=2)
+    offline = Runtime(QueryGroup(queries), config=config).run(points)
+    for seed in (1, 2, 3):
+        served = run_async(
+            serve_merged_stream(config, queries, points, seed))
+        diffs = compare_outputs(offline.outputs, served)
+        assert not diffs, f"seed {seed}:\n" + "\n".join(diffs[:10])
+
+
+# ----------------------------------------------- dynamic workload leg
+
+
+def test_mid_stream_registration_matches_dynamic_oracle():
+    """A query registered mid-stream answers exactly like the dynamic
+    detector fed the same mutation schedule at the same boundary."""
+    queries = list(grid_workload("A").queries)
+    first, second = queries[0], queries[1]
+    points = make_synthetic_points(400, dim=2, outlier_rate=0.05, seed=11)
+    slide = first.window.slide
+
+    async def scenario():
+        async with running_server(DetectorConfig(shards=2)) as server:
+            client = await ServiceClient.connect(server.address)
+            await client.register(first)
+            await client.subscribe()
+            half = len(points) // 2
+            await client.stream(points[:half], chunk=50)
+            # wait until every complete boundary of the first half is
+            # answered, so the registration lands at a known boundary
+            target = ((half - 1) // slide) * slide
+            while (await client.stat())["last_boundary"] < target:
+                await asyncio.sleep(0.01)
+            switch_t = (await client.stat())["last_boundary"]
+            await client.register(second)
+            await client.stream(points[half:], chunk=50)
+            await client.end()
+            await asyncio.wait_for(client.stream_end.wait(), 60)
+            outputs = dict(client.outputs)
+            await client.close()
+            return switch_t, outputs
+
+    switch_t, served = run_async(scenario())
+
+    # oracle: the dynamic detector with the identical mutation schedule
+    oracle = DynamicSOPDetector([first])
+    expected = {}
+    added = False
+    for t, batch in batches_by_boundary(points, slide, kind=first.kind):
+        if t > switch_t and not added:
+            oracle.add_query(second)
+            added = True
+        for handle, seqs in oracle.step(t, batch).items():
+            expected[(handle, t)] = seqs
+    assert added, "switch boundary never reached"
+    diffs = compare_outputs(expected, served)
+    assert not diffs, "\n".join(diffs[:10])

@@ -74,6 +74,20 @@ class TestRunResult:
     def test_summary_mentions_detector(self):
         assert "test" in self._result().summary()
 
+    def test_work_stats_snapshot_is_a_detached_plain_dict(self):
+        res = self._result()
+        res.work = {"distance_rows": 7, "kernel_calls": 2}
+        snap = res.work_stats_snapshot()
+        assert type(snap) is dict
+        assert snap == {"distance_rows": 7, "kernel_calls": 2}
+        # a snapshot, not a view: mutating it leaves the result intact
+        snap["distance_rows"] = 0
+        snap["new_key"] = 1
+        assert res.work == {"distance_rows": 7, "kernel_calls": 2}
+
+    def test_work_stats_snapshot_empty(self):
+        assert RunResult(detector="x").work_stats_snapshot() == {}
+
 
 class TestCompareOutputs:
     def test_identical(self):

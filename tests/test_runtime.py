@@ -30,6 +30,7 @@ from repro import (
     StreamPartitioner,
     WindowSpec,
     batches_by_boundary,
+    compare_outputs,
     detect_outliers,
     load_checkpoint,
     load_sharded_checkpoint,
@@ -446,3 +447,52 @@ class TestShardedCheckpoints:
         assert last > 0
         with pytest.raises(ValueError):
             ShardedCheckpointSubscriber(path, interval=0)
+
+
+class TestPreloadAndSnapshots:
+    """The serving layer's runtime hooks: retained_points / preload /
+    work_stats_snapshot."""
+
+    def test_retained_points_dedups_border_replicas(self):
+        points = make_synthetic_points(500, dim=2, seed=21)
+        rt = Runtime(small_workload(), shards=4)
+        rt.run(points, until=400)
+        retained = rt.retained_points()
+        seqs = [p.seq for p in retained]
+        # replicas collapse: each seq exactly once, in stream order
+        assert seqs == sorted(set(seqs))
+        # the retained set is exactly the union of live shard windows
+        expected = {p.seq for shard in rt.shards
+                    for p in shard.detector.buffer.points}
+        assert set(seqs) == expected
+
+    def test_preload_matches_straight_run(self):
+        points = make_synthetic_points(600, dim=2, seed=22)
+        group = small_workload()
+        full = Runtime(group, shards=2).run(points)
+        # run the first half, carry the window into a fresh runtime,
+        # continue with the second half: outputs must line up exactly
+        first = Runtime(small_workload(), shards=2)
+        first.run(points, until=300)
+        carried = Runtime(small_workload(), shards=2)
+        carried.preload(first.retained_points())
+        resumed = {}
+        for t, batch in batches_by_boundary(
+                points, group.swift.slide, group.kind, start=300):
+            for qi, seqs in carried.step(t, batch).items():
+                resumed[(qi, t)] = seqs
+        expected = {key: val for key, val in full.outputs.items()
+                    if key[1] > 300}
+        diffs = compare_outputs(expected, resumed)
+        assert not diffs, "\n".join(diffs[:10])
+
+    def test_work_stats_snapshot_includes_quarantine(self):
+        points = make_synthetic_points(200, dim=2, seed=23)
+        rt = Runtime(small_workload(), shards=2,
+                     config=DetectorConfig(shards=2, validate_ingest=True))
+        rt.run(list(points) + ["garbage"])
+        snap = rt.work_stats_snapshot()
+        assert type(snap) is dict
+        assert snap["records_quarantined"] == 1
+        assert snap["quarantined_malformed"] == 1
+        assert snap["distance_rows"] == rt.work_stats()["distance_rows"]
